@@ -1,0 +1,84 @@
+package chunks
+
+// One benchmark per experiment in DESIGN.md's index: each Benchmark*
+// times the code path that regenerates the corresponding figure or
+// table (the printable rows come from cmd/chunkbench, which runs the
+// same internal/experiments functions).
+
+import (
+	"testing"
+
+	"chunks/internal/experiments"
+)
+
+func benchTable(b *testing.B, gen func() (*experiments.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tb, err := gen()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tb.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// Figures.
+
+func BenchmarkF1MultiFraming(b *testing.B)    { benchTable(b, experiments.F1) }
+func BenchmarkF2ChunkFormation(b *testing.B)  { benchTable(b, experiments.F2) }
+func BenchmarkF3SplitAndPack(b *testing.B)    { benchTable(b, experiments.F3) }
+func BenchmarkF5InvariantLayout(b *testing.B) { benchTable(b, experiments.F5) }
+func BenchmarkF6XIDEncoding(b *testing.B)     { benchTable(b, experiments.F6) }
+func BenchmarkF7ImplicitTID(b *testing.B)     { benchTable(b, experiments.F7) }
+
+func BenchmarkF4GatewayStrategies(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) { return experiments.F4(1) })
+}
+
+// Table 1.
+
+func BenchmarkT1CorruptionMatrix(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) { return experiments.T1(1) })
+}
+
+func BenchmarkB1ProtocolComparison(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) { return experiments.B1(1) })
+}
+
+// Performance claims.
+
+func BenchmarkP1ImmediateVsBuffered(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) { return experiments.P1(1) })
+}
+
+func BenchmarkP2MultiStageReassembly(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) { return experiments.P2(1) })
+}
+
+func BenchmarkP3DemuxCost(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) { return experiments.P3(1) })
+}
+
+func BenchmarkP4BufferLockup(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) { return experiments.P4(1) })
+}
+
+func BenchmarkP5WSC2VsCRC(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) { return experiments.P5(1, 50) })
+}
+
+func BenchmarkP6HeaderCompression(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) { return experiments.P6(1) })
+}
+
+func BenchmarkP7ProtocolOverhead(b *testing.B) { benchTable(b, experiments.P7) }
+
+func BenchmarkP8AdaptiveSizing(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) { return experiments.P8(1) })
+}
+
+func BenchmarkNetsimDisordering(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) { return experiments.Disordering(1) })
+}

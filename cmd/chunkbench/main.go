@@ -1,0 +1,47 @@
+// Chunkbench regenerates every table and figure of the reproduction
+// (see DESIGN.md's experiment index and EXPERIMENTS.md for the
+// paper-vs-measured record).
+//
+// Usage:
+//
+//	chunkbench                 # run everything
+//	chunkbench -exp T1         # one experiment
+//	chunkbench -exp P5 -seed 7 # with a different seed
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"strings"
+
+	"chunks/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (F1..F7, T1, B1, P1..P8, NET) or 'all'")
+	seed := flag.Int64("seed", 1, "deterministic seed for randomized workloads")
+	flag.Parse()
+
+	var tables []*experiments.Table
+	if *exp == "all" {
+		var err error
+		tables, err = experiments.All(*seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		gen := experiments.ByID(strings.ToUpper(*exp), *seed)
+		if gen == nil {
+			log.Fatalf("unknown experiment %q", *exp)
+		}
+		tb, err := gen()
+		if err != nil {
+			log.Fatal(err)
+		}
+		tables = []*experiments.Table{tb}
+	}
+	for _, tb := range tables {
+		tb.Fprint(os.Stdout)
+	}
+}

@@ -1,0 +1,100 @@
+// Chunkdump decodes chunk-protocol packets and prints their contents —
+// a protocol analyzer for the wire format of Section 2.
+//
+// Input is either a hex string argument or raw/hex packets on stdin
+// (one packet per line when hex). Example:
+//
+//	chunksend ... | tee wire.bin
+//	chunkdump -hex "$(xxd -p packet.bin | tr -d '\n')"
+package main
+
+import (
+	"bufio"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"chunks/internal/chunk"
+	"chunks/internal/errdet"
+	"chunks/internal/packet"
+	"chunks/internal/transport"
+)
+
+func main() {
+	hexArg := flag.String("hex", "", "hex-encoded packet to decode")
+	raw := flag.Bool("raw", false, "treat stdin as one raw binary packet")
+	flag.Parse()
+
+	switch {
+	case *hexArg != "":
+		dump(mustHex(*hexArg))
+	case *raw:
+		b, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dump(b)
+	default:
+		sc := bufio.NewScanner(os.Stdin)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			dump(mustHex(line))
+		}
+	}
+}
+
+func mustHex(s string) []byte {
+	b, err := hex.DecodeString(strings.TrimSpace(s))
+	if err != nil {
+		log.Fatalf("bad hex: %v", err)
+	}
+	return b
+}
+
+func dump(b []byte) {
+	p, err := packet.Decode(b)
+	if err != nil {
+		fmt.Printf("packet: DECODE ERROR: %v\n", err)
+		return
+	}
+	fmt.Printf("packet: %d bytes, %d chunk(s)\n", len(b), len(p.Chunks))
+	for i := range p.Chunks {
+		c := &p.Chunks[i]
+		fmt.Printf("  [%d] %s payload=%dB", i, c.String(), len(c.Payload))
+		describe(c)
+		fmt.Println()
+	}
+}
+
+func describe(c *chunk.Chunk) {
+	switch c.Type {
+	case chunk.TypeED:
+		if par, err := errdet.ParseED(c); err == nil {
+			fmt.Printf("  parity{P0=%08x P1=%08x}", par.P0, par.P1)
+		}
+	case chunk.TypeSignal:
+		if sig, err := transport.ParseSignal(c); err == nil {
+			if sig.Open {
+				fmt.Printf("  OPEN cid=%d elem=%dB csn=%d", sig.CID, sig.ElemSize, sig.CSN)
+			} else {
+				fmt.Printf("  CLOSE cid=%d final-csn=%d", sig.CID, sig.CSN)
+			}
+		}
+	case chunk.TypeAck:
+		if tid, err := transport.ParseAck(c); err == nil {
+			fmt.Printf("  ack tpdu=%d", tid)
+		}
+	case chunk.TypeNack:
+		if tid, miss, err := transport.ParseNack(c); err == nil {
+			fmt.Printf("  nack tpdu=%d missing=%v", tid, miss)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Chunksend transmits a file or generated data to a chunkrecv peer
+// over UDP using the chunk transport protocol.
+//
+// Usage:
+//
+//	chunksend -addr 127.0.0.1:9911 -bytes 1048576
+//	chunksend -addr 10.0.0.2:9911 -file big.bin -frame 65536
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	"chunks/internal/core"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9911", "receiver UDP address")
+	file := flag.String("file", "", "file to send (padded to element size); empty = random data")
+	nbytes := flag.Int("bytes", 1<<20, "bytes of random data when -file is empty")
+	seed := flag.Int64("seed", 1, "seed for random data")
+	cid := flag.Uint("cid", 0xC1D, "connection ID")
+	tpdu := flag.Int("tpdu", 4096, "TPDU size in elements")
+	mtu := flag.Int("mtu", 1400, "datagram MTU")
+	frame := flag.Int("frame", 0, "cut an ALF frame every N bytes (0 = one big frame)")
+	adapt := flag.Bool("adapt", false, "adaptive TPDU sizing")
+	window := flag.Int("window", 24, "max unacked TPDUs in flight")
+	timeout := flag.Duration("timeout", 60*time.Second, "drain timeout")
+	flag.Parse()
+
+	var data []byte
+	if *file != "" {
+		b, err := os.ReadFile(*file)
+		if err != nil {
+			log.Fatal(err)
+		}
+		data = b
+	} else {
+		data = make([]byte, *nbytes)
+		rand.New(rand.NewSource(*seed)).Read(data)
+	}
+	for len(data)%4 != 0 {
+		data = append(data, 0)
+	}
+
+	conn, err := core.Dial(*addr, core.Config{
+		CID: uint32(*cid), MTU: *mtu, TPDUElems: *tpdu, Adapt: *adapt,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now()
+	step := *frame
+	if step <= 0 || step > len(data) {
+		step = len(data)
+	}
+	step = step &^ 3 // element alignment
+	if step == 0 {
+		step = 4
+	}
+	for off := 0; off < len(data); off += step {
+		end := off + step
+		if end > len(data) {
+			end = len(data)
+		}
+		if err := conn.Write(data[off:end]); err != nil {
+			log.Fatal(err)
+		}
+		conn.EndFrame()
+		for conn.Unacked() > *window {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if err := conn.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if err := conn.WaitDrained(*timeout); err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	sent, retr := conn.Stats()
+	fmt.Printf("sent %d bytes in %v (%.2f MiB/s); TPDUs %d, retransmits %d\n",
+		len(data), elapsed.Round(time.Millisecond),
+		float64(len(data))/(1<<20)/elapsed.Seconds(), sent, retr)
+}

@@ -1,0 +1,29 @@
+// Package chunks reproduces "A Data Labelling Technique for
+// High-Performance Protocol Processing and Its Consequences"
+// (D. C. Feldmeier, SIGCOMM 1993) as a complete Go library.
+//
+// The paper's contribution is the chunk: a completely self-describing
+// piece of a protocol data unit, labelled with a TYPE and three
+// (ID, SN, ST) framing tuples, that can be processed by the whole
+// protocol stack the moment it arrives — in any order, fragmented any
+// number of times — with end-to-end error detection provided by a
+// fragmentation-invariant WSC-2 weighted sum code over GF(2^32).
+//
+// Layout:
+//
+//   - internal/chunk      — the labelling format, Appendix C/D algorithms
+//   - internal/packet     — packets as envelopes; Figure 4 gateway strategies
+//   - internal/gf, wsc    — GF(2^32) arithmetic and the WSC-2 code
+//   - internal/errdet     — Section 4 end-to-end error detection
+//   - internal/vr         — virtual reassembly
+//   - internal/compress   — Appendix A invertible header transformations
+//   - internal/transport  — a chunk transport protocol (signaling, ACK/NACK)
+//   - internal/core       — UDP-backed public connection API
+//   - internal/ipfrag, xtp, aal — comparison baselines
+//   - internal/netsim, trace, ilp, stats — experiment substrates
+//   - internal/faults, experiments — Table 1 matrix and the benchmark harness
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+// paper-vs-measured record, and cmd/chunkbench to regenerate every
+// table and figure.
+package chunks

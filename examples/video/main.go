@@ -1,0 +1,103 @@
+// Video: the paper's second motivating application — "although the
+// video frames themselves must be presented in the correct order,
+// data of an individual frame can be placed in the frame buffer as
+// they arrive without reordering" (Section 1).
+//
+// Each frame is one external PDU (an Application Layer Frame, [CLAR
+// 90]): the X tuple carries frame identity, so frame completion — not
+// stream order — gates display. The example simulates a 30-frame clip
+// over a disordering multipath network and reports per-frame
+// readiness.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"chunks/internal/errdet"
+	"chunks/internal/netsim"
+	"chunks/internal/packet"
+	"chunks/internal/trace"
+)
+
+func main() {
+	cfg := trace.VideoConfig{
+		Seed:       7,
+		Frames:     30,
+		FrameElems: 1080, // ~4.3 KB frames
+		ElemSize:   4,
+		TPDUElems:  1000, // TPDU and frame boundaries interleave (Figure 1)
+		CID:        0xF1,
+	}
+	w, err := trace.Video(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pack the stream into 1400-byte packets and push them through an
+	// 8-path network with heavy skew — the AURORA scenario.
+	pk := packet.Packer{MTU: 1400}
+	datagrams, err := pk.Encode(w.All())
+	if err != nil {
+		log.Fatal(err)
+	}
+	link := netsim.NewLink(netsim.LinkConfig{
+		Seed: 1, Paths: 8, BaseDelay: 100, SkewPerPath: 37, JitterMax: 25,
+	})
+	deliveries := link.Transit(netsim.SendAll(packetsOf(datagrams), 0, 1))
+	fmt.Printf("network disorder: %.0f%% of adjacent deliveries inverted\n",
+		100*netsim.Disorder(deliveries))
+
+	// Receiver: place chunks as they arrive; report each frame the
+	// moment it completes.
+	recv, err := errdet.NewReceiver(errdet.DefaultLayout())
+	if err != nil {
+		log.Fatal(err)
+	}
+	framebuf := make([]byte, len(w.Data))
+	ready := make([]bool, cfg.Frames+1)
+	readyCount := 0
+	for _, d := range deliveries {
+		p, err := packet.Decode(d.Data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := range p.Chunks {
+			c := p.Chunks[i].Clone()
+			if c.Type.Control() {
+				if err := recv.Ingest(&c); err != nil {
+					log.Fatal(err)
+				}
+				continue
+			}
+			// Immediate placement into the frame buffer at the
+			// stream position.
+			copy(framebuf[c.C.SN*uint64(c.Size):], c.Payload)
+			if err := recv.Ingest(&c); err != nil {
+				log.Fatal(err)
+			}
+			f := c.X.ID
+			if !ready[f] && recv.XComplete(f) {
+				ready[f] = true
+				readyCount++
+				if f <= 3 || int(f) == cfg.Frames {
+					fmt.Printf("frame %2d ready at tick %d\n", f, d.Tick)
+				}
+			}
+		}
+	}
+
+	fmt.Printf("frames ready: %d/%d\n", readyCount, cfg.Frames)
+	if !bytes.Equal(framebuf, w.Data) {
+		log.Fatal("frame buffer corrupted")
+	}
+	for f := 0; f < cfg.Frames; f++ {
+		if !bytes.Equal(w.Frame(cfg, f), framebuf[f*cfg.FrameElems*4:(f+1)*cfg.FrameElems*4]) {
+			log.Fatalf("frame %d content mismatch", f)
+		}
+	}
+	fmt.Println("all frames placed correctly without any reordering buffer")
+}
+
+func packetsOf(datagrams [][]byte) [][]byte { return datagrams }

@@ -1,0 +1,3 @@
+module chunks
+
+go 1.22

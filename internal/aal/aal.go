@@ -1,0 +1,129 @@
+// Package aal models the type 5 ATM Adaptation Layer [LYON 91], the
+// Appendix B comparison point for implicit framing: AAL5 provides "a
+// single bit of higher-layer framing information in the ATM cell
+// header" (equivalent to the chunk T.ST bit) and nothing else —
+// "no explicit ID, SN, or TYPE fields are needed because ATM links do
+// not misorder". A cell is the start of a frame iff the previous cell
+// ended one; the error detection code and length live in a trailer
+// found by position.
+//
+// The package demonstrates both sides of the paper's argument: on an
+// ordered channel the one-bit scheme reassembles perfectly with
+// minimal overhead; under ANY misordering or loss the implicit
+// framing silently mis-frames, and only the trailer CRC saves the day
+// — which is exactly why chunks carry explicit labels.
+package aal
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+)
+
+// CellPayload is the ATM cell payload size.
+const CellPayload = 48
+
+// CellSize is payload plus the 1-byte header our model uses (real ATM
+// has 5 header bytes; only the end-of-frame bit matters here).
+const CellSize = CellPayload + 1
+
+// TrailerSize is the AAL5 frame trailer: 4-byte length + 4-byte CRC.
+const TrailerSize = 8
+
+// Errors reported by reassembly.
+var (
+	ErrBadCell     = errors.New("aal: cell is not CellSize bytes")
+	ErrBadCRC      = errors.New("aal: frame CRC mismatch")
+	ErrBadLen      = errors.New("aal: frame length field out of range")
+	ErrFrameTooBig = errors.New("aal: frame exceeds maximum length")
+)
+
+// MaxFrame bounds a frame to keep a broken stream from buffering
+// forever.
+const MaxFrame = 1 << 20
+
+// Segment converts one frame into cells: payload + trailer (length,
+// CRC-32), zero-padded to a cell multiple, with the end-of-frame bit
+// set on the last cell.
+func Segment(frame []byte) ([][]byte, error) {
+	if len(frame) > MaxFrame {
+		return nil, ErrFrameTooBig
+	}
+	body := make([]byte, 0, len(frame)+TrailerSize)
+	body = append(body, frame...)
+	body = binary.BigEndian.AppendUint32(body, uint32(len(frame)))
+	body = binary.BigEndian.AppendUint32(body, crc32.ChecksumIEEE(frame))
+	// Pad so the trailer ends exactly at a cell boundary: pad BEFORE
+	// the trailer per AAL5.
+	pad := (CellPayload - len(body)%CellPayload) % CellPayload
+	if pad > 0 {
+		padded := make([]byte, 0, len(body)+pad)
+		padded = append(padded, frame...)
+		padded = append(padded, make([]byte, pad)...)
+		padded = binary.BigEndian.AppendUint32(padded, uint32(len(frame)))
+		padded = binary.BigEndian.AppendUint32(padded, crc32.ChecksumIEEE(frame))
+		body = padded
+	}
+	var cells [][]byte
+	for off := 0; off < len(body); off += CellPayload {
+		cell := make([]byte, CellSize)
+		copy(cell[1:], body[off:off+CellPayload])
+		if off+CellPayload == len(body) {
+			cell[0] = 1 // end-of-frame bit
+		}
+		cells = append(cells, cell)
+	}
+	return cells, nil
+}
+
+// A Reassembler consumes cells IN ORDER and emits frames. It has no
+// per-cell identity to check — the implicit-framing property under
+// test.
+type Reassembler struct {
+	buf []byte
+}
+
+// Add ingests one cell. When the cell carries the end-of-frame bit,
+// the accumulated frame is validated against its trailer and
+// returned; a CRC or length failure returns an error (and drops the
+// broken frame), which is how AAL5 discovers that cells were lost or
+// disordered — after the fact, with no way to tell which cells were
+// wrong.
+func (r *Reassembler) Add(cell []byte) ([]byte, error) {
+	if len(cell) != CellSize {
+		return nil, ErrBadCell
+	}
+	r.buf = append(r.buf, cell[1:]...)
+	if len(r.buf) > MaxFrame+TrailerSize+CellPayload {
+		r.buf = r.buf[:0]
+		return nil, ErrFrameTooBig
+	}
+	if cell[0]&1 == 0 {
+		return nil, nil
+	}
+	body := r.buf
+	r.buf = nil
+	if len(body) < TrailerSize {
+		return nil, ErrBadLen
+	}
+	n := int(binary.BigEndian.Uint32(body[len(body)-8 : len(body)-4]))
+	crc := binary.BigEndian.Uint32(body[len(body)-4:])
+	if n > len(body)-TrailerSize {
+		return nil, ErrBadLen
+	}
+	frame := body[:n]
+	if crc32.ChecksumIEEE(frame) != crc {
+		return nil, ErrBadCRC
+	}
+	return frame, nil
+}
+
+// Pending returns buffered bytes of the in-progress frame.
+func (r *Reassembler) Pending() int { return len(r.buf) }
+
+// Overhead returns the wire bytes needed to carry a frame of n bytes:
+// ceil((n+trailer)/48) cells of 49 bytes. Used by experiment P7.
+func Overhead(n int) int {
+	cells := (n + TrailerSize + CellPayload - 1) / CellPayload
+	return cells * CellSize
+}

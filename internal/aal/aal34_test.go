@@ -1,0 +1,188 @@
+package aal
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestSegment34Shapes(t *testing.T) {
+	// Single cell: SSM.
+	cells := Segment34(1, 0, frame(10, 1))
+	if len(cells) != 1 || cells[0][0]>>4 != SSM {
+		t.Fatalf("small message: %d cells, type %d", len(cells), cells[0][0]>>4)
+	}
+	// Multi-cell: BOM, COM..., EOM.
+	cells = Segment34(1, 0, frame(100, 2))
+	if len(cells) != 3 {
+		t.Fatalf("%d cells", len(cells))
+	}
+	types := []byte{cells[0][0] >> 4, cells[1][0] >> 4, cells[2][0] >> 4}
+	if types[0] != BOM || types[1] != COM || types[2] != EOM {
+		t.Fatalf("segment types: %v", types)
+	}
+	// SNs increment modulo 16 from the start value.
+	if cells[0][0]&0x0F != 0 || cells[1][0]&0x0F != 1 || cells[2][0]&0x0F != 2 {
+		t.Fatal("SN sequence wrong")
+	}
+	cells = Segment34(1, 15, frame(100, 3))
+	if cells[1][0]&0x0F != 0 {
+		t.Fatal("SN must wrap modulo 16")
+	}
+	// Empty message: one SSM cell of zero length.
+	cells = Segment34(1, 0, nil)
+	if len(cells) != 1 || cells[0][2] != 0 {
+		t.Fatal("empty message")
+	}
+}
+
+func TestReassemble34RoundTrip(t *testing.T) {
+	r := NewReassembler34()
+	sn := uint8(0)
+	for _, n := range []int{10, 44, 45, 200, 0} {
+		msg := frame(n, int64(n))
+		cells := Segment34(5, sn, msg)
+		sn = (sn + uint8(len(cells))) & 0x0F
+		var got []byte
+		done := false
+		for _, c := range cells {
+			mid, out, err := r.Add(c)
+			if err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			if out != nil {
+				if mid != 5 {
+					t.Fatal("wrong MID")
+				}
+				got, done = out, true
+			}
+		}
+		if !done || !bytes.Equal(got, msg) {
+			t.Fatalf("n=%d round trip failed", n)
+		}
+	}
+}
+
+// TestInterleavedMIDs is the AAL3/4 capability AAL5 lacks: messages
+// from different MIDs interleave cell-by-cell on one VC.
+func TestInterleavedMIDs(t *testing.T) {
+	m1, m2 := frame(150, 1), frame(150, 2)
+	c1 := Segment34(1, 0, m1)
+	c2 := Segment34(2, 0, m2)
+	r := NewReassembler34()
+	got := map[uint8][]byte{}
+	for i := 0; i < len(c1) || i < len(c2); i++ {
+		for _, c := range [][]byte{pick(c1, i), pick(c2, i)} {
+			if c == nil {
+				continue
+			}
+			mid, out, err := r.Add(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out != nil {
+				got[mid] = out
+			}
+		}
+	}
+	if !bytes.Equal(got[1], m1) || !bytes.Equal(got[2], m2) {
+		t.Fatal("interleaved reassembly failed")
+	}
+}
+
+func pick(cells [][]byte, i int) []byte {
+	if i < len(cells) {
+		return cells[i]
+	}
+	return nil
+}
+
+// TestSNGapDetected: a lost cell breaks the SN sequence and the
+// message is abandoned.
+func TestSNGapDetected(t *testing.T) {
+	cells := Segment34(1, 0, frame(150, 4))
+	r := NewReassembler34()
+	if _, _, err := r.Add(cells[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Cell 1 lost; cell 2 arrives.
+	if _, _, err := r.Add(cells[2]); !errors.Is(err, ErrSeq34) {
+		t.Fatalf("want ErrSeq34, got %v", err)
+	}
+	if r.Pending() != 0 {
+		t.Fatal("broken message must be abandoned")
+	}
+}
+
+// TestSNWrapHazard: the paper-era weakness of a 4-bit SN — losing
+// exactly 16 consecutive cells goes UNDETECTED by the sequence check,
+// splicing two messages (only higher-layer checks could catch it).
+// Chunks, with full-width explicit SNs, cannot suffer this.
+func TestSNWrapHazard(t *testing.T) {
+	msg := frame(44*18, 7) // 18 cells
+	cells := Segment34(1, 0, msg)
+	r := NewReassembler34()
+	if _, _, err := r.Add(cells[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Drop cells 1..16 (16 cells): SN wraps back to the expected
+	// value.
+	_, out, err := r.Add(cells[17])
+	if err != nil {
+		t.Fatalf("wrap-gap was detected?! %v", err)
+	}
+	if out == nil {
+		t.Fatal("EOM must (wrongly) complete the spliced message")
+	}
+	if bytes.Equal(out, msg) {
+		t.Fatal("spliced message should be wrong")
+	}
+	if len(out) != 2*Cell34Payload {
+		t.Fatalf("spliced message is %d bytes", len(out))
+	}
+}
+
+func TestFramingViolations(t *testing.T) {
+	r := NewReassembler34()
+	com := Segment34(1, 0, frame(150, 8))[1]
+	if _, _, err := r.Add(com); !errors.Is(err, ErrProto34) {
+		t.Fatal("COM without BOM")
+	}
+	r = NewReassembler34()
+	bomCells := Segment34(2, 0, frame(150, 9))
+	if _, _, err := r.Add(bomCells[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Second BOM with the right SN while open.
+	bom2 := Segment34(2, 1, frame(150, 10))[0]
+	if _, _, err := r.Add(bom2); !errors.Is(err, ErrProto34) {
+		t.Fatal("BOM while open")
+	}
+	if _, _, err := r.Add(make([]byte, 5)); !errors.Is(err, ErrBadCell34) {
+		t.Fatal("short cell")
+	}
+	bad := make([]byte, Cell34Size)
+	bad[2] = Cell34Payload + 1
+	if _, _, err := r.Add(bad); !errors.Is(err, ErrProto34) {
+		t.Fatal("oversize length field")
+	}
+}
+
+func TestDeriveX(t *testing.T) {
+	xid, xsn := DeriveX(100, 3) // BOM was at connection cell 97
+	if xid != 97 || xsn != 3 {
+		t.Fatalf("DeriveX = %d, %d", xid, xsn)
+	}
+}
+
+func TestReassembler34Arbitrary(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	r := NewReassembler34()
+	for i := 0; i < 2000; i++ {
+		cell := make([]byte, Cell34Size)
+		rng.Read(cell)
+		cell[2] = byte(rng.Intn(Cell34Payload + 1))
+		_, _, _ = r.Add(cell) // must not panic
+	}
+}

@@ -1,0 +1,185 @@
+package aal
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func frame(n int, seed int64) []byte {
+	b := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(b)
+	return b
+}
+
+func TestSegmentShape(t *testing.T) {
+	cells, err := Segment(frame(100, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 + 8 trailer = 108 -> 3 cells of 48.
+	if len(cells) != 3 {
+		t.Fatalf("%d cells", len(cells))
+	}
+	for i, c := range cells {
+		if len(c) != CellSize {
+			t.Fatalf("cell %d is %d bytes", i, len(c))
+		}
+		if (c[0]&1 != 0) != (i == len(cells)-1) {
+			t.Fatalf("cell %d end bit = %d", i, c[0]&1)
+		}
+	}
+}
+
+func TestRoundTripInOrder(t *testing.T) {
+	r := &Reassembler{}
+	for _, n := range []int{0, 1, 40, 48, 100, 1000} {
+		f := frame(n, int64(n))
+		cells, err := Segment(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []byte
+		done := false
+		for _, c := range cells {
+			out, err := r.Add(c)
+			if err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			if out != nil {
+				got, done = out, true
+			}
+		}
+		if !done || !bytes.Equal(got, f) {
+			t.Fatalf("n=%d: round trip failed", n)
+		}
+		if r.Pending() != 0 {
+			t.Fatal("buffer must drain at frame end")
+		}
+	}
+}
+
+func TestBackToBackFrames(t *testing.T) {
+	// "A cell is considered to contain the beginning of a frame if the
+	// previous cell was the end of a frame."
+	r := &Reassembler{}
+	var frames int
+	for i := 0; i < 5; i++ {
+		cells, _ := Segment(frame(70, int64(i)))
+		for _, c := range cells {
+			if out, err := r.Add(c); err != nil {
+				t.Fatal(err)
+			} else if out != nil {
+				frames++
+			}
+		}
+	}
+	if frames != 5 {
+		t.Fatalf("reassembled %d of 5 frames", frames)
+	}
+}
+
+// TestMisorderingBreaksImplicitFraming is the paper's point: with no
+// explicit labels, swapped cells silently corrupt the frame, caught
+// only by the trailer CRC.
+func TestMisorderingBreaksImplicitFraming(t *testing.T) {
+	f := frame(150, 9)
+	cells, _ := Segment(f)
+	if len(cells) < 4 {
+		t.Fatal("need several cells")
+	}
+	cells[0], cells[1] = cells[1], cells[0] // in-frame swap
+	r := &Reassembler{}
+	var sawErr error
+	for _, c := range cells {
+		if _, err := r.Add(c); err != nil {
+			sawErr = err
+		}
+	}
+	if sawErr != ErrBadCRC {
+		t.Fatalf("swap must surface as CRC failure, got %v", sawErr)
+	}
+}
+
+// TestCellLossMergesFrames: losing an end-of-frame cell splices two
+// frames together; the CRC catches it but BOTH frames are lost —
+// loss amplification absent in chunk framing.
+func TestCellLossMergesFrames(t *testing.T) {
+	c1, _ := Segment(frame(60, 1))
+	c2, _ := Segment(frame(60, 2))
+	stream := append(c1[:len(c1)-1], c2...) // drop frame 1's last cell
+	r := &Reassembler{}
+	var frames int
+	var errs int
+	for _, c := range stream {
+		out, err := r.Add(c)
+		if err != nil {
+			errs++
+		}
+		if out != nil {
+			frames++
+		}
+	}
+	if frames != 0 || errs == 0 {
+		t.Fatalf("frames=%d errs=%d; expected both frames destroyed", frames, errs)
+	}
+}
+
+func TestBadCell(t *testing.T) {
+	r := &Reassembler{}
+	if _, err := r.Add(make([]byte, 10)); err != ErrBadCell {
+		t.Fatal("wrong cell size must be rejected")
+	}
+}
+
+func TestHugeFrame(t *testing.T) {
+	if _, err := Segment(frame(MaxFrame+1, 1)); err != ErrFrameTooBig {
+		t.Fatal("oversize frame must be rejected at segmentation")
+	}
+	// A stream that never ends a frame must not buffer unboundedly.
+	r := &Reassembler{}
+	cell := make([]byte, CellSize) // end bit clear
+	var sawErr error
+	for i := 0; i < (MaxFrame/CellPayload)+3; i++ {
+		if _, err := r.Add(cell); err != nil {
+			sawErr = err
+			break
+		}
+	}
+	if sawErr != ErrFrameTooBig {
+		t.Fatalf("runaway frame: %v", sawErr)
+	}
+}
+
+func TestOverhead(t *testing.T) {
+	// 100-byte frame: 108 body bytes -> 3 cells -> 147 wire bytes.
+	if got := Overhead(100); got != 3*CellSize {
+		t.Fatalf("Overhead(100) = %d", got)
+	}
+	if got := Overhead(40); got != CellSize {
+		t.Fatalf("Overhead(40) = %d", got)
+	}
+}
+
+func BenchmarkSegmentReassemble64K(b *testing.B) {
+	f := frame(64*1024, 1)
+	b.SetBytes(int64(len(f)))
+	for i := 0; i < b.N; i++ {
+		cells, err := Segment(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := &Reassembler{}
+		var out []byte
+		for _, c := range cells {
+			if o, err := r.Add(c); err != nil {
+				b.Fatal(err)
+			} else if o != nil {
+				out = o
+			}
+		}
+		if out == nil {
+			b.Fatal("no frame")
+		}
+	}
+}

@@ -1,0 +1,203 @@
+// Package chunk implements the paper's data labelling format: chunks,
+// the completely self-describing pieces of PDUs of Section 2.
+//
+// A chunk is a group of data elements that share a TYPE and a set of
+// PDU identifiers, together with one header labelling them. The header
+// carries the TYPE and the three framing tuples of the paper's example
+// system — connection (C.ID, C.SN, C.ST), transport (T.ID, T.SN, T.ST)
+// and external/ALF (X.ID, X.SN, X.ST) — plus SIZE (bytes per atomic
+// data element) and LEN (number of elements). The SN fields are those
+// of the FIRST element of the chunk; the ST bits are those of the LAST
+// element (only the last element of a chunk can possibly end a PDU,
+// because all elements share the chunk's IDs).
+//
+// Chunks preserve all their properties under fragmentation: Split
+// (Appendix C) and Merge (Appendix D) are exact transcriptions of the
+// paper's algorithms. Packets are envelopes for integral numbers of
+// chunks (package packet).
+package chunk
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Type labels how a chunk's payload is processed (Section 2: "explicit
+// data typing within a PDU"). The basic PDU contains pieces of type
+// data and control; a system may use multiple control types.
+type Type uint8
+
+const (
+	// TypeInvalid is the zero Type; no valid chunk carries it.
+	TypeInvalid Type = 0
+	// TypeData is TPDU payload data ("D" in Figure 2).
+	TypeData Type = 1
+	// TypeED is the TPDU error detection control chunk ("ED" in
+	// Figure 3); its payload is a wsc.Parity wire encoding.
+	TypeED Type = 2
+	// TypeSignal carries connection signaling (establishment and
+	// teardown; Section 2 notes connection start is signaled rather
+	// than using SN zero, and Appendix A moves C.ST into signaling).
+	TypeSignal Type = 3
+	// TypeAck is an acknowledgment control chunk (Appendix A: data,
+	// signaling and acks can be combined in any packet, giving
+	// piggybacking for free).
+	TypeAck Type = 4
+	// TypeNack is a selective retransmission request.
+	TypeNack Type = 5
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case TypeData:
+		return "D"
+	case TypeED:
+		return "ED"
+	case TypeSignal:
+		return "SIG"
+	case TypeAck:
+		return "ACK"
+	case TypeNack:
+		return "NACK"
+	case TypeInvalid:
+		return "INVALID"
+	}
+	return fmt.Sprintf("TYPE(%d)", uint8(t))
+}
+
+// Valid reports whether t is a defined chunk type.
+func (t Type) Valid() bool { return t >= TypeData && t <= TypeNack }
+
+// Control reports whether t is a control (non-data) type. Control
+// information is indivisible (Section 2), so control chunks are never
+// split.
+func (t Type) Control() bool { return t.Valid() && t != TypeData }
+
+// Tuple is one level of framing information: the (ID, SN, ST) triple
+// of Section 2. ID names the PDU, SN is the element sequence number of
+// the chunk's first element within that PDU, and ST ("STop") is set on
+// the element that ends the PDU.
+type Tuple struct {
+	ID uint32
+	SN uint64
+	ST bool
+}
+
+// Advance returns the tuple shifted forward by n elements with ST
+// cleared — the identity of a non-final fragment (Appendix C).
+func (tp Tuple) Advance(n uint64) Tuple {
+	return Tuple{ID: tp.ID, SN: tp.SN + n, ST: false}
+}
+
+func (tp Tuple) String() string {
+	st := 0
+	if tp.ST {
+		st = 1
+	}
+	return fmt.Sprintf("(%d,%d,%d)", tp.ID, tp.SN, st)
+}
+
+// MaxPayload bounds a single chunk's payload; Validate rejects larger
+// chunks so LEN*SIZE arithmetic cannot overflow and a corrupted header
+// cannot demand absurd allocations.
+const MaxPayload = 1 << 24
+
+// A Chunk is one self-describing data unit. The zero value is invalid;
+// build chunks with composite literals, Form, or DecodeFromBytes.
+type Chunk struct {
+	Type Type
+	Size uint16 // bytes per atomic data element (Section 2: e.g. a DES block)
+	Len  uint32 // number of elements; 0 marks the in-packet terminator
+	C    Tuple  // connection framing
+	T    Tuple  // transport PDU framing
+	X    Tuple  // external PDU framing (Application Layer Frame)
+
+	// Payload holds Len*Size bytes. Decoded chunks alias the packet
+	// buffer (gopacket NoCopy-style); use Clone before retaining.
+	Payload []byte
+}
+
+// Errors returned by Validate and the fragmentation algorithms.
+var (
+	ErrBadType     = errors.New("chunk: invalid TYPE")
+	ErrBadSize     = errors.New("chunk: SIZE must be positive")
+	ErrPayloadLen  = errors.New("chunk: payload length != LEN*SIZE")
+	ErrTooLarge    = errors.New("chunk: payload exceeds MaxPayload")
+	ErrSplitRange  = errors.New("chunk: split point must satisfy 0 < n < LEN")
+	ErrControlOp   = errors.New("chunk: control chunks are indivisible")
+	ErrNotAdjacent = errors.New("chunk: chunks are not merge-eligible")
+)
+
+// Terminator returns the LEN=0 chunk placed after the last valid chunk
+// of an under-full packet (Section 2: "A chunk with LEN=0 is placed
+// after the last valid chunk in the packet").
+func Terminator() Chunk { return Chunk{Type: TypeData, Size: 1, Len: 0} }
+
+// IsTerminator reports whether c is an end-of-packet marker.
+func (c *Chunk) IsTerminator() bool { return c.Len == 0 }
+
+// PayloadLen returns LEN*SIZE, the byte length the payload must have.
+func (c *Chunk) PayloadLen() int { return int(c.Len) * int(c.Size) }
+
+// Elems returns the element count as an int.
+func (c *Chunk) Elems() int { return int(c.Len) }
+
+// Element returns the i-th element's bytes (aliasing Payload).
+func (c *Chunk) Element(i int) []byte {
+	lo := i * int(c.Size)
+	return c.Payload[lo : lo+int(c.Size)]
+}
+
+// Validate checks structural well-formedness. It does not (cannot)
+// check end-to-end integrity; that is package errdet's job.
+func (c *Chunk) Validate() error {
+	if !c.Type.Valid() {
+		return ErrBadType
+	}
+	if c.Size == 0 {
+		return ErrBadSize
+	}
+	if c.PayloadLen() > MaxPayload {
+		return ErrTooLarge
+	}
+	if len(c.Payload) != c.PayloadLen() {
+		return ErrPayloadLen
+	}
+	return nil
+}
+
+// Clone returns a deep copy whose payload does not alias c's.
+func (c *Chunk) Clone() Chunk {
+	out := *c
+	if c.Payload != nil {
+		out.Payload = append([]byte(nil), c.Payload...)
+	}
+	return out
+}
+
+// Equal reports whether two chunks are identical in header and payload.
+func (c *Chunk) Equal(d *Chunk) bool {
+	if c.Type != d.Type || c.Size != d.Size || c.Len != d.Len ||
+		c.C != d.C || c.T != d.T || c.X != d.X {
+		return false
+	}
+	if len(c.Payload) != len(d.Payload) {
+		return false
+	}
+	for i := range c.Payload {
+		if c.Payload[i] != d.Payload[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the header in the layout of Figure 2's formed chunk.
+func (c *Chunk) String() string {
+	if c.IsTerminator() {
+		return "{TERM}"
+	}
+	return fmt.Sprintf("{%s SIZE=%d LEN=%d C=%s T=%s X=%s}",
+		c.Type, c.Size, c.Len, c.C, c.T, c.X)
+}

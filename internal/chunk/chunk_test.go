@@ -1,0 +1,147 @@
+package chunk
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleChunk() Chunk {
+	return Chunk{
+		Type:    TypeData,
+		Size:    2,
+		Len:     4,
+		C:       Tuple{ID: 1, SN: 100, ST: false},
+		T:       Tuple{ID: 2, SN: 0, ST: true},
+		X:       Tuple{ID: 3, SN: 50, ST: false},
+		Payload: []byte{0, 1, 2, 3, 4, 5, 6, 7},
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	cases := map[Type]string{
+		TypeData: "D", TypeED: "ED", TypeSignal: "SIG",
+		TypeAck: "ACK", TypeNack: "NACK", TypeInvalid: "INVALID", Type(99): "TYPE(99)",
+	}
+	for typ, want := range cases {
+		if typ.String() != want {
+			t.Errorf("%d.String() = %q, want %q", typ, typ.String(), want)
+		}
+	}
+}
+
+func TestTypeValidControl(t *testing.T) {
+	if TypeInvalid.Valid() || Type(200).Valid() {
+		t.Fatal("invalid types must not be Valid")
+	}
+	if !TypeData.Valid() || TypeData.Control() {
+		t.Fatal("TypeData is valid non-control")
+	}
+	for _, typ := range []Type{TypeED, TypeSignal, TypeAck, TypeNack} {
+		if !typ.Control() {
+			t.Errorf("%v must be control", typ)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	c := sampleChunk()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("sample must validate: %v", err)
+	}
+	bad := c
+	bad.Type = TypeInvalid
+	if bad.Validate() != ErrBadType {
+		t.Error("want ErrBadType")
+	}
+	bad = c
+	bad.Size = 0
+	if bad.Validate() != ErrBadSize {
+		t.Error("want ErrBadSize")
+	}
+	bad = c
+	bad.Payload = bad.Payload[:6]
+	if bad.Validate() != ErrPayloadLen {
+		t.Error("want ErrPayloadLen")
+	}
+	bad = c
+	bad.Size = 65535
+	bad.Len = 1 << 20
+	if bad.Validate() != ErrTooLarge {
+		t.Error("want ErrTooLarge")
+	}
+}
+
+func TestTerminator(t *testing.T) {
+	term := Terminator()
+	if !term.IsTerminator() {
+		t.Fatal("Terminator must be a terminator")
+	}
+	c := sampleChunk()
+	if c.IsTerminator() {
+		t.Fatal("data chunk is not a terminator")
+	}
+}
+
+func TestElementAccess(t *testing.T) {
+	c := sampleChunk()
+	if c.Elems() != 4 || c.PayloadLen() != 8 {
+		t.Fatalf("Elems=%d PayloadLen=%d", c.Elems(), c.PayloadLen())
+	}
+	e := c.Element(2)
+	if len(e) != 2 || e[0] != 4 || e[1] != 5 {
+		t.Fatalf("Element(2) = %v", e)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	c := sampleChunk()
+	d := c.Clone()
+	d.Payload[0] = 0xFF
+	if c.Payload[0] == 0xFF {
+		t.Fatal("Clone must not alias payload")
+	}
+	if !c.Equal(&c) {
+		t.Fatal("chunk must equal itself")
+	}
+	if c.Equal(&d) {
+		t.Fatal("mutated clone must differ")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := sampleChunk(), sampleChunk()
+	if !a.Equal(&b) {
+		t.Fatal("identical chunks must be Equal")
+	}
+	b.T.SN++
+	if a.Equal(&b) {
+		t.Fatal("differing header must not be Equal")
+	}
+	b = sampleChunk()
+	b.Payload = b.Payload[:7]
+	if a.Equal(&b) {
+		t.Fatal("differing payload length must not be Equal")
+	}
+}
+
+func TestString(t *testing.T) {
+	c := sampleChunk()
+	s := c.String()
+	for _, want := range []string{"D", "SIZE=2", "LEN=4", "(2,0,1)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	term := Terminator()
+	if term.String() != "{TERM}" {
+		t.Errorf("terminator String() = %q", term.String())
+	}
+}
+
+func TestTupleAdvance(t *testing.T) {
+	tp := Tuple{ID: 9, SN: 5, ST: true}
+	adv := tp.Advance(3)
+	if adv.ID != 9 || adv.SN != 8 || adv.ST {
+		t.Fatalf("Advance = %+v", adv)
+	}
+}

@@ -1,0 +1,58 @@
+package chunk_test
+
+import (
+	"fmt"
+
+	"chunks/internal/chunk"
+)
+
+// ExampleChunk_Split shows the Appendix C fragmentation algorithm:
+// the first half keeps the SNs and loses the ST bits; the second
+// half's SNs advance and it inherits the ST bits.
+func ExampleChunk_Split() {
+	c := chunk.Chunk{
+		Type: chunk.TypeData, Size: 1, Len: 7,
+		C:       chunk.Tuple{ID: 0xA, SN: 36},
+		T:       chunk.Tuple{ID: 0xF1, SN: 0, ST: true},
+		X:       chunk.Tuple{ID: 0xC, SN: 24},
+		Payload: []byte{1, 2, 3, 4, 5, 6, 7},
+	}
+	first, second, _ := c.Split(4)
+	fmt.Println(first.String())
+	fmt.Println(second.String())
+	// Output:
+	// {D SIZE=1 LEN=4 C=(10,36,0) T=(241,0,0) X=(12,24,0)}
+	// {D SIZE=1 LEN=3 C=(10,40,0) T=(241,4,1) X=(12,28,0)}
+}
+
+// ExampleMergeAll shows one-step reassembly (Appendix D) over
+// disordered fragments.
+func ExampleMergeAll() {
+	c := chunk.Chunk{
+		Type: chunk.TypeData, Size: 1, Len: 6,
+		C: chunk.Tuple{ID: 1, SN: 100}, T: chunk.Tuple{ID: 2, ST: true}, X: chunk.Tuple{ID: 3},
+		Payload: []byte("abcdef"),
+	}
+	a, rest, _ := c.Split(2)
+	b, d, _ := rest.Split(2)
+	merged := chunk.MergeAll([]chunk.Chunk{d, a, b}) // any order
+	fmt.Println(len(merged), string(merged[0].Payload))
+	// Output: 1 abcdef
+}
+
+// ExampleForm shows chunk formation (Figure 2): contiguous elements
+// sharing TYPE and IDs coalesce under one header.
+func ExampleForm() {
+	var elems []chunk.Element
+	for i := 0; i < 3; i++ {
+		elems = append(elems, chunk.Element{
+			Type: chunk.TypeData, Data: []byte{byte('x' + i)},
+			C: chunk.Tuple{ID: 9, SN: uint64(10 + i)},
+			T: chunk.Tuple{ID: 5, SN: uint64(i), ST: i == 2},
+			X: chunk.Tuple{ID: 7, SN: uint64(i)},
+		})
+	}
+	out, _ := chunk.Form(1, elems)
+	fmt.Println(len(out), out[0].String())
+	// Output: 1 {D SIZE=1 LEN=3 C=(9,10,0) T=(5,0,1) X=(7,0,0)}
+}

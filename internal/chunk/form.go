@@ -1,0 +1,97 @@
+package chunk
+
+import "errors"
+
+// Chunk formation (Figure 2): "conceptually each piece of data is
+// labelled with a TYPE field and multiple (ID, SN, ST) tuples", and "a
+// group of data with contiguous sequence numbers that have identical
+// TYPE and IDs can share a single header". Form performs exactly that
+// coalescing: it turns a stream of individually-labelled elements into
+// the minimal sequence of chunks.
+
+// An Element is one atomic data unit with its full conceptual label.
+type Element struct {
+	Type    Type
+	Data    []byte
+	C, T, X Tuple // per-element SN; ST set on PDU-final elements
+}
+
+// ErrElementSize reports an element whose data is not SIZE bytes.
+var ErrElementSize = errors.New("chunk: element data length != SIZE")
+
+// sharable reports whether e can extend a chunk currently ending with
+// element prev: identical TYPE and IDs, SNs consecutive at every
+// level, and prev not PDU-final at any level (an ST bit can appear
+// only on a chunk's last element).
+func sharable(prev, e *Element) bool {
+	return prev.Type == e.Type &&
+		prev.C.ID == e.C.ID && prev.T.ID == e.T.ID && prev.X.ID == e.X.ID &&
+		prev.C.SN+1 == e.C.SN && prev.T.SN+1 == e.T.SN && prev.X.SN+1 == e.X.SN &&
+		!prev.C.ST && !prev.T.ST && !prev.X.ST
+}
+
+// Form coalesces labelled elements into chunks of element size `size`.
+// Each returned chunk carries the SNs of its first element and the ST
+// bits of its last (Section 2). Payloads are freshly allocated.
+func Form(size uint16, elems []Element) ([]Chunk, error) {
+	if size == 0 {
+		return nil, ErrBadSize
+	}
+	var out []Chunk
+	for i := 0; i < len(elems); {
+		first := &elems[i]
+		if len(first.Data) != int(size) {
+			return nil, ErrElementSize
+		}
+		j := i + 1
+		for j < len(elems) {
+			if len(elems[j].Data) != int(size) {
+				return nil, ErrElementSize
+			}
+			if !sharable(&elems[j-1], &elems[j]) {
+				break
+			}
+			j++
+		}
+		last := &elems[j-1]
+		c := Chunk{
+			Type: first.Type,
+			Size: size,
+			Len:  uint32(j - i),
+			C:    Tuple{ID: first.C.ID, SN: first.C.SN, ST: last.C.ST},
+			T:    Tuple{ID: first.T.ID, SN: first.T.SN, ST: last.T.ST},
+			X:    Tuple{ID: first.X.ID, SN: first.X.SN, ST: last.X.ST},
+		}
+		c.Payload = make([]byte, 0, (j-i)*int(size))
+		for k := i; k < j; k++ {
+			c.Payload = append(c.Payload, elems[k].Data...)
+		}
+		out = append(out, c)
+		i = j
+	}
+	return out, nil
+}
+
+// Elements expands a chunk back into its per-element conceptual labels
+// — the inverse of Form, used by tests and by processing functions
+// that need per-element positions.
+func (c *Chunk) Elements() []Element {
+	out := make([]Element, c.Elems())
+	for i := range out {
+		n := uint64(i)
+		out[i] = Element{
+			Type: c.Type,
+			Data: c.Element(i),
+			C:    Tuple{ID: c.C.ID, SN: c.C.SN + n},
+			T:    Tuple{ID: c.T.ID, SN: c.T.SN + n},
+			X:    Tuple{ID: c.X.ID, SN: c.X.SN + n},
+		}
+	}
+	if len(out) > 0 {
+		last := &out[len(out)-1]
+		last.C.ST = c.C.ST
+		last.T.ST = c.T.ST
+		last.X.ST = c.X.ST
+	}
+	return out
+}

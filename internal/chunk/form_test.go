@@ -1,0 +1,225 @@
+package chunk
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// figure2Elements reproduces the labelled data stream of Figure 2:
+// nine one-byte elements on connection A, spanning the end of TPDU P,
+// all of TPDU Q, and the start of TPDU R, all within external PDU C.
+//
+//	TYPE  D  D  D  D  D  D  D  D  D
+//	C.ID  A  A  A  A  A  A  A  A  A
+//	C.SN  35 36 37 38 39 40 41 42 43
+//	C.ST  0  0  0  0  0  0  0  0  0
+//	T.ID  P  Q  Q  Q  Q  Q  Q  Q  R
+//	T.SN  6  0  1  2  3  4  5  6  0
+//	T.ST  1  0  0  0  0  0  0  1  0
+//	X.ID  C  C  C  C  C  C  C  C  C
+//	X.SN  23 24 25 26 27 28 29 30 31
+//	X.ST  0  0  0  0  0  0  0  0  0
+const (
+	connA = 0xA
+	tpduP = 0xF0
+	tpduQ = 0xF1
+	tpduR = 0xF2
+	xpduC = 0xC
+)
+
+func figure2Elements() []Element {
+	type row struct {
+		tID uint32
+		tSN uint64
+		tST bool
+		cSN uint64
+		xSN uint64
+	}
+	rows := []row{
+		{tpduP, 6, true, 35, 23},
+		{tpduQ, 0, false, 36, 24},
+		{tpduQ, 1, false, 37, 25},
+		{tpduQ, 2, false, 38, 26},
+		{tpduQ, 3, false, 39, 27},
+		{tpduQ, 4, false, 40, 28},
+		{tpduQ, 5, false, 41, 29},
+		{tpduQ, 6, true, 42, 30},
+		{tpduR, 0, false, 43, 31},
+	}
+	elems := make([]Element, len(rows))
+	for i, r := range rows {
+		elems[i] = Element{
+			Type: TypeData,
+			Data: []byte{byte(i)},
+			C:    Tuple{ID: connA, SN: r.cSN},
+			T:    Tuple{ID: r.tID, SN: r.tSN, ST: r.tST},
+			X:    Tuple{ID: xpduC, SN: r.xSN},
+		}
+	}
+	return elems
+}
+
+// TestFigure2GoldenChunk (experiment F2) checks chunk formation against
+// the exact header the paper draws for TPDU Q:
+//
+//	CTX ID  A Q C
+//	    SN  36 0 24
+//	    ST  0 1 0
+//	TYPE D  SIZE 1  LEN 7
+func TestFigure2GoldenChunk(t *testing.T) {
+	out, err := Form(1, figure2Elements())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("Form produced %d chunks, want 3 (tail of P, all of Q, head of R)", len(out))
+	}
+	q := out[1]
+	if q.Type != TypeData || q.Size != 1 || q.Len != 7 {
+		t.Fatalf("TYPE/SIZE/LEN = %v/%d/%d", q.Type, q.Size, q.Len)
+	}
+	if q.C != (Tuple{ID: connA, SN: 36, ST: false}) {
+		t.Fatalf("C tuple = %v, want (A,36,0)", q.C)
+	}
+	if q.T != (Tuple{ID: tpduQ, SN: 0, ST: true}) {
+		t.Fatalf("T tuple = %v, want (Q,0,1)", q.T)
+	}
+	if q.X != (Tuple{ID: xpduC, SN: 24, ST: false}) {
+		t.Fatalf("X tuple = %v, want (C,24,0)", q.X)
+	}
+	if string(q.Payload) != string([]byte{1, 2, 3, 4, 5, 6, 7}) {
+		t.Fatalf("payload = %v", q.Payload)
+	}
+
+	// The surrounding chunks carry P's final element and R's first.
+	if out[0].T != (Tuple{ID: tpduP, SN: 6, ST: true}) || out[0].Len != 1 {
+		t.Fatalf("P chunk = %v", &out[0])
+	}
+	if out[2].T != (Tuple{ID: tpduR, SN: 0, ST: false}) || out[2].Len != 1 {
+		t.Fatalf("R chunk = %v", &out[2])
+	}
+}
+
+// TestFigure1MultiFraming (experiment F1): one data stream carries two
+// independent framings simultaneously — PDU type 1 divides it A|B|C
+// while PDU type 2 holds it all in W. A single element belongs to both
+// PDU B and PDU W, each tracked by its own tuple.
+func TestFigure1MultiFraming(t *testing.T) {
+	const (
+		pduA, pduB, pduC = 1, 2, 3
+		pduW             = 100
+	)
+	var elems []Element
+	bounds := []struct {
+		id  uint32
+		len int
+	}{{pduA, 4}, {pduB, 5}, {pduC, 3}}
+	csn, xsn := uint64(0), uint64(0)
+	for _, seg := range bounds {
+		for i := 0; i < seg.len; i++ {
+			elems = append(elems, Element{
+				Type: TypeData,
+				Data: []byte{byte(csn)},
+				C:    Tuple{ID: 9, SN: csn},
+				T:    Tuple{ID: seg.id, SN: uint64(i), ST: i == seg.len-1},
+				X:    Tuple{ID: pduW, SN: xsn},
+			})
+			csn++
+			xsn++
+		}
+	}
+	elems[len(elems)-1].X.ST = true // W ends with the stream
+
+	out, err := Form(1, elems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("want 3 chunks (one per type-1 PDU), got %d", len(out))
+	}
+	// Type-1 framing: A, B, C each end with T.ST.
+	for i, want := range []uint32{pduA, pduB, pduC} {
+		if out[i].T.ID != want || !out[i].T.ST {
+			t.Errorf("chunk %d: T = %v", i, out[i].T)
+		}
+	}
+	// Type-2 framing: X.SN runs continuously across all three chunks
+	// and only the last chunk ends W.
+	if out[0].X.SN != 0 || out[1].X.SN != 4 || out[2].X.SN != 9 {
+		t.Fatalf("X.SNs = %d,%d,%d", out[0].X.SN, out[1].X.SN, out[2].X.SN)
+	}
+	if out[0].X.ST || out[1].X.ST || !out[2].X.ST {
+		t.Fatal("only the final chunk may end PDU W")
+	}
+}
+
+func TestFormRejectsBadSize(t *testing.T) {
+	if _, err := Form(0, nil); err != ErrBadSize {
+		t.Fatalf("size 0: %v", err)
+	}
+	elems := []Element{{Type: TypeData, Data: []byte{1, 2}}}
+	if _, err := Form(1, elems); err != ErrElementSize {
+		t.Fatalf("oversize element: %v", err)
+	}
+	elems = []Element{
+		{Type: TypeData, Data: []byte{1}},
+		{Type: TypeData, Data: []byte{1, 2}, C: Tuple{SN: 1}, T: Tuple{SN: 1}, X: Tuple{SN: 1}},
+	}
+	if _, err := Form(1, elems); err != ErrElementSize {
+		t.Fatalf("oversize second element: %v", err)
+	}
+}
+
+func TestFormEmpty(t *testing.T) {
+	out, err := Form(4, nil)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("Form(nil) = %v, %v", out, err)
+	}
+}
+
+func TestFormBreaksOnSNGap(t *testing.T) {
+	elems := []Element{
+		{Type: TypeData, Data: []byte{0}, C: Tuple{SN: 0}, T: Tuple{SN: 0}, X: Tuple{SN: 0}},
+		{Type: TypeData, Data: []byte{1}, C: Tuple{SN: 2}, T: Tuple{SN: 1}, X: Tuple{SN: 1}},
+	}
+	out, err := Form(1, elems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatal("a C.SN gap must break the chunk")
+	}
+}
+
+// TestFormElementsInverse: Elements is the left inverse of Form for a
+// stream that is one chunk's worth, and Form(Elements(c)) == c.
+func TestFormElementsInverse(t *testing.T) {
+	f := func(payload []byte, csn, tsn, xsn uint64, tst bool) bool {
+		c, ok := quickChunk(TypeData, 1, payload, 1, 2, 3, csn, tsn, xsn, false, tst, false)
+		if !ok {
+			return true
+		}
+		back, err := Form(1, c.Elements())
+		return err == nil && len(back) == 1 && back[0].Equal(&c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestElementsLabels(t *testing.T) {
+	c := sampleChunk() // LEN=4, T.ST true
+	es := c.Elements()
+	if len(es) != 4 {
+		t.Fatalf("%d elements", len(es))
+	}
+	for i, e := range es {
+		if e.C.SN != c.C.SN+uint64(i) || e.T.SN != c.T.SN+uint64(i) || e.X.SN != c.X.SN+uint64(i) {
+			t.Fatalf("element %d SNs = %v %v %v", i, e.C, e.T, e.X)
+		}
+		isLast := i == len(es)-1
+		if e.T.ST != isLast {
+			t.Fatalf("element %d T.ST = %v", i, e.T.ST)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package chunk
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestDecodeArbitraryBytes: the decoder must never panic and must
+// report a sane consumed length for any input.
+func TestDecodeArbitraryBytes(t *testing.T) {
+	f := func(b []byte) bool {
+		c, n, err := Decode(b)
+		if err != nil {
+			return n == 0
+		}
+		if n <= 0 || n > len(b) {
+			return false
+		}
+		if c.IsTerminator() {
+			return n == TerminatorSize
+		}
+		return c.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// FuzzDecode exercises the wire decoder with the native fuzzer; the
+// corpus seeds cover the terminator, a valid chunk, and truncations.
+func FuzzDecode(f *testing.F) {
+	c := Chunk{
+		Type: TypeData, Size: 2, Len: 3,
+		C: Tuple{ID: 1, SN: 10}, T: Tuple{ID: 2, SN: 0, ST: true}, X: Tuple{ID: 3, SN: 5},
+		Payload: []byte{1, 2, 3, 4, 5, 6},
+	}
+	valid := c.AppendTo(nil)
+	f.Add(valid)
+	f.Add(valid[:HeaderSize])
+	f.Add([]byte{0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		c, n, err := Decode(b)
+		if err != nil {
+			if n != 0 {
+				t.Fatalf("error with nonzero consume: %d", n)
+			}
+			return
+		}
+		if n <= 0 || n > len(b) {
+			t.Fatalf("consumed %d of %d", n, len(b))
+		}
+		if !c.IsTerminator() {
+			if err := c.Validate(); err != nil {
+				t.Fatalf("decoded invalid chunk: %v", err)
+			}
+			// Round-trip stability: re-encode and re-decode.
+			re := c.AppendTo(nil)
+			c2, _, err := Decode(re)
+			if err != nil || !c2.Equal(&c) {
+				t.Fatalf("re-encode round trip failed: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzSplitMerge: for any decodable data chunk and split point,
+// Split followed by Merge is the identity.
+func FuzzSplitMerge(f *testing.F) {
+	c := Chunk{
+		Type: TypeData, Size: 1, Len: 16,
+		C: Tuple{ID: 1, SN: 100}, T: Tuple{ID: 2, ST: true}, X: Tuple{ID: 3, SN: 50},
+		Payload: make([]byte, 16),
+	}
+	f.Add(c.AppendTo(nil), uint32(4))
+	f.Fuzz(func(t *testing.T, b []byte, at uint32) {
+		c, _, err := Decode(b)
+		if err != nil || c.IsTerminator() || c.Type.Control() || c.Len < 2 {
+			return
+		}
+		n := 1 + at%(c.Len-1)
+		a, bb, err := c.Split(n)
+		if err != nil {
+			t.Fatalf("split: %v", err)
+		}
+		m, err := Merge(&a, &bb)
+		if err != nil || !m.Equal(&c) {
+			t.Fatalf("merge: %v", err)
+		}
+	})
+}

@@ -1,0 +1,110 @@
+package chunk
+
+import "sort"
+
+// CanMerge implements the eligibility test of the paper's reassembly
+// algorithm (Appendix D): a and b reassemble into one chunk iff they
+// share TYPE, SIZE and all three IDs, and b's SNs each equal a's SNs
+// plus a's LEN — i.e. b continues a immediately at every level of
+// framing. A chunk whose ST bit is set at some level ends that PDU, so
+// a continuation with the same ID would be a different PDU instance;
+// such pairs are rejected even though the appendix's arithmetic alone
+// would accept them (the paper assumes IDs are not reused back-to-back;
+// we enforce it).
+func CanMerge(a, b *Chunk) bool {
+	if a.IsTerminator() || b.IsTerminator() {
+		return false
+	}
+	if a.Type.Control() {
+		return false // control is indivisible, never fragmented
+	}
+	n := uint64(a.Len)
+	return a.Type == b.Type &&
+		a.Size == b.Size &&
+		a.C.ID == b.C.ID && a.T.ID == b.T.ID && a.X.ID == b.X.ID &&
+		a.C.SN+n == b.C.SN && a.T.SN+n == b.T.SN && a.X.SN+n == b.X.SN &&
+		!a.C.ST && !a.T.ST && !a.X.ST
+}
+
+// Merge implements Appendix D: it reassembles adjacent chunks a then b
+// into a single chunk that takes TYPE, SIZE, IDs and SNs from a, LEN
+// = a.LEN + b.LEN, and ST bits from b. The payload is freshly
+// allocated (reassembly is a copy by nature — the very cost immediate
+// processing avoids; see the P2 experiment).
+func Merge(a, b *Chunk) (Chunk, error) {
+	if !CanMerge(a, b) {
+		return Chunk{}, ErrNotAdjacent
+	}
+	out := Chunk{
+		Type: a.Type,
+		Size: a.Size,
+		Len:  a.Len + b.Len,
+		C:    Tuple{ID: a.C.ID, SN: a.C.SN, ST: b.C.ST},
+		T:    Tuple{ID: a.T.ID, SN: a.T.SN, ST: b.T.ST},
+		X:    Tuple{ID: a.X.ID, SN: a.X.SN, ST: b.X.ST},
+	}
+	out.Payload = make([]byte, 0, len(a.Payload)+len(b.Payload))
+	out.Payload = append(out.Payload, a.Payload...)
+	out.Payload = append(out.Payload, b.Payload...)
+	return out, nil
+}
+
+// MergeAll repeatedly applies Merge "as long as eligible chunks exist"
+// (Appendix D), coalescing every adjacent pair in the input. Chunks
+// may be given in any order; the result is sorted by (C.ID, C.SN).
+// This is the single-step reassembly of Section 3.1: no matter how
+// many fragmentation stages occurred in the network, one pass suffices.
+func MergeAll(in []Chunk) []Chunk {
+	if len(in) <= 1 {
+		out := make([]Chunk, len(in))
+		copy(out, in)
+		return out
+	}
+	work := make([]Chunk, len(in))
+	copy(work, in)
+	sortChunks(work)
+	out := work[:0]
+	cur := work[0]
+	for _, next := range work[1:] {
+		if CanMerge(&cur, &next) {
+			m, err := Merge(&cur, &next)
+			if err == nil {
+				cur = m
+				continue
+			}
+		}
+		out = append(out, cur)
+		cur = next
+	}
+	return append(out, cur)
+}
+
+// sortChunks orders by (C.ID, C.SN, T.ID, T.SN) — sufficient for
+// MergeAll to bring every mergeable pair adjacent, since merge
+// eligibility requires consecutive C.SNs under one C.ID.
+func sortChunks(cs []Chunk) {
+	// Insertion sort for small, nearly-sorted per-PDU sets; fall back
+	// to the library sort for large fragment populations.
+	if len(cs) > 32 {
+		sort.Slice(cs, func(i, j int) bool { return chunkLess(&cs[i], &cs[j]) })
+		return
+	}
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && chunkLess(&cs[j], &cs[j-1]); j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}
+
+func chunkLess(a, b *Chunk) bool {
+	switch {
+	case a.C.ID != b.C.ID:
+		return a.C.ID < b.C.ID
+	case a.C.SN != b.C.SN:
+		return a.C.SN < b.C.SN
+	case a.T.ID != b.T.ID:
+		return a.T.ID < b.T.ID
+	default:
+		return a.T.SN < b.T.SN
+	}
+}

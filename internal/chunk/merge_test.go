@@ -1,0 +1,190 @@
+package chunk
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func adjacentPair() (Chunk, Chunk) {
+	c := sampleChunk()
+	c.T.ST = false
+	a, b, err := c.Split(2)
+	if err != nil {
+		panic(err)
+	}
+	return a, b
+}
+
+func TestCanMergeRejections(t *testing.T) {
+	a, b := adjacentPair()
+	if !CanMerge(&a, &b) {
+		t.Fatal("baseline pair must merge")
+	}
+
+	mut := func(f func(x *Chunk)) (Chunk, Chunk) {
+		x, y := adjacentPair()
+		f(&y)
+		return x, y
+	}
+
+	cases := []struct {
+		name string
+		f    func(y *Chunk)
+	}{
+		{"type differs", func(y *Chunk) { y.Type = TypeED }},
+		{"size differs", func(y *Chunk) { y.Size = 1 }},
+		{"C.ID differs", func(y *Chunk) { y.C.ID++ }},
+		{"T.ID differs", func(y *Chunk) { y.T.ID++ }},
+		{"X.ID differs", func(y *Chunk) { y.X.ID++ }},
+		{"C.SN gap", func(y *Chunk) { y.C.SN++ }},
+		{"T.SN gap", func(y *Chunk) { y.T.SN++ }},
+		{"X.SN gap", func(y *Chunk) { y.X.SN++ }},
+	}
+	for _, tc := range cases {
+		x, y := mut(tc.f)
+		if CanMerge(&x, &y) {
+			t.Errorf("%s: must not merge", tc.name)
+		}
+		if _, err := Merge(&x, &y); err != ErrNotAdjacent {
+			t.Errorf("%s: Merge err = %v", tc.name, err)
+		}
+	}
+
+	// First chunk ending a PDU at any level blocks the merge.
+	x, y := adjacentPair()
+	x.T.ST = true
+	if CanMerge(&x, &y) {
+		t.Error("ST-terminated first chunk must not merge")
+	}
+
+	// Terminators and control chunks never merge.
+	term := Terminator()
+	if CanMerge(&term, &y) || CanMerge(&x, &term) {
+		t.Error("terminator must not merge")
+	}
+	ed := Chunk{Type: TypeED, Size: 8, Len: 1, Payload: make([]byte, 8)}
+	ed2 := ed
+	ed2.C.SN = 1
+	if CanMerge(&ed, &ed2) {
+		t.Error("control chunks must not merge")
+	}
+}
+
+func TestMergeTakesSTFromSecond(t *testing.T) {
+	c := sampleChunk() // T.ST set on original
+	a, b, _ := c.Split(3)
+	m, err := Merge(&a, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.T.ST || m.C.ST || m.X.ST {
+		t.Fatalf("merged ST bits wrong: %v", &m)
+	}
+	if m.C.SN != a.C.SN || m.T.SN != a.T.SN || m.X.SN != a.X.SN {
+		t.Fatal("merged SNs must come from the first chunk")
+	}
+	if m.Len != a.Len+b.Len {
+		t.Fatal("merged LEN must be the sum")
+	}
+}
+
+func TestMergeAllDisordered(t *testing.T) {
+	// Fragment a 60-element chunk into random pieces, shuffle, and
+	// require one-pass reassembly regardless of arrival order —
+	// Section 3.1: "chunks can be efficiently reassembled in a single
+	// step" no matter how many fragmentation stages occurred.
+	rng := rand.New(rand.NewSource(99))
+	orig := Chunk{
+		Type: TypeData, Size: 3, Len: 60,
+		C: Tuple{ID: 7, SN: 1000}, T: Tuple{ID: 8, SN: 0, ST: true}, X: Tuple{ID: 9, SN: 40},
+		Payload: make([]byte, 180),
+	}
+	for i := range orig.Payload {
+		orig.Payload[i] = byte(rng.Intn(256))
+	}
+
+	pieces := []Chunk{orig}
+	for round := 0; round < 4; round++ {
+		var next []Chunk
+		for _, p := range pieces {
+			if p.Len > 1 && rng.Intn(2) == 0 {
+				at := 1 + uint32(rng.Intn(int(p.Len-1)))
+				a, b, err := p.Split(at)
+				if err != nil {
+					t.Fatal(err)
+				}
+				next = append(next, a, b)
+			} else {
+				next = append(next, p)
+			}
+		}
+		pieces = next
+	}
+	rng.Shuffle(len(pieces), func(i, j int) { pieces[i], pieces[j] = pieces[j], pieces[i] })
+
+	merged := MergeAll(pieces)
+	if len(merged) != 1 {
+		t.Fatalf("MergeAll left %d chunks", len(merged))
+	}
+	if !merged[0].Equal(&orig) {
+		t.Fatalf("reassembly mismatch:\n got %v\nwant %v", &merged[0], &orig)
+	}
+}
+
+func TestMergeAllDistinctPDUs(t *testing.T) {
+	// Chunks of different TPDUs must remain distinct.
+	a := Chunk{Type: TypeData, Size: 1, Len: 2, C: Tuple{ID: 1, SN: 0}, T: Tuple{ID: 10, SN: 0, ST: true}, X: Tuple{ID: 5}, Payload: []byte{1, 2}}
+	b := Chunk{Type: TypeData, Size: 1, Len: 2, C: Tuple{ID: 1, SN: 2}, T: Tuple{ID: 11, SN: 0, ST: true}, X: Tuple{ID: 5, SN: 2}, Payload: []byte{3, 4}}
+	out := MergeAll([]Chunk{b, a})
+	if len(out) != 2 {
+		t.Fatalf("distinct TPDUs merged: %v", out)
+	}
+	if out[0].T.ID != 10 || out[1].T.ID != 11 {
+		t.Fatal("MergeAll must sort by connection SN")
+	}
+}
+
+func TestMergeAllSmallInputs(t *testing.T) {
+	if out := MergeAll(nil); len(out) != 0 {
+		t.Fatal("empty input")
+	}
+	c := sampleChunk()
+	out := MergeAll([]Chunk{c})
+	if len(out) != 1 || !out[0].Equal(&c) {
+		t.Fatal("singleton input must pass through")
+	}
+}
+
+func TestMergeAllDoesNotMutateInput(t *testing.T) {
+	a, b := adjacentPair()
+	in := []Chunk{b, a}
+	_ = MergeAll(in)
+	if !in[0].Equal(&b) || !in[1].Equal(&a) {
+		t.Fatal("MergeAll must not reorder the caller's slice")
+	}
+}
+
+func BenchmarkMergeAll64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	orig := Chunk{
+		Type: TypeData, Size: 4, Len: 256,
+		C: Tuple{ID: 1}, T: Tuple{ID: 2, ST: true}, X: Tuple{ID: 3},
+		Payload: make([]byte, 1024),
+	}
+	var pieces []Chunk
+	rest := orig
+	for rest.Len > 4 {
+		a, bb, _ := rest.Split(4)
+		pieces = append(pieces, a)
+		rest = bb
+	}
+	pieces = append(pieces, rest)
+	rng.Shuffle(len(pieces), func(i, j int) { pieces[i], pieces[j] = pieces[j], pieces[i] })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := MergeAll(pieces)
+		if len(out) != 1 {
+			b.Fatal("merge failed")
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package chunk
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitAppendixC(t *testing.T) {
+	c := sampleChunk() // LEN=4, SIZE=2, T.ST set
+	a, b, err := c.Split(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// chunk_a: same IDs and SNs, ST all zero, LEN = new_len.
+	if a.Len != 1 || a.C.SN != 100 || a.T.SN != 0 || a.X.SN != 50 {
+		t.Fatalf("first half: %v", &a)
+	}
+	if a.C.ST || a.T.ST || a.X.ST {
+		t.Fatal("first half must clear every ST bit")
+	}
+	// chunk_b: SNs advanced by new_len, ST bits inherited.
+	if b.Len != 3 || b.C.SN != 101 || b.T.SN != 1 || b.X.SN != 51 {
+		t.Fatalf("second half: %v", &b)
+	}
+	if b.C.ST || !b.T.ST || b.X.ST {
+		t.Fatalf("second half ST bits: %v", &b)
+	}
+	// Payload divided at the element boundary.
+	if string(a.Payload) != string(c.Payload[:2]) || string(b.Payload) != string(c.Payload[2:]) {
+		t.Fatal("payload split at wrong offset")
+	}
+	if a.Type != c.Type || b.Type != c.Type || a.Size != c.Size || b.Size != c.Size {
+		t.Fatal("TYPE and SIZE must be preserved")
+	}
+}
+
+func TestSplitRangeErrors(t *testing.T) {
+	c := sampleChunk()
+	if _, _, err := c.Split(0); err != ErrSplitRange {
+		t.Errorf("split at 0: %v", err)
+	}
+	if _, _, err := c.Split(c.Len); err != ErrSplitRange {
+		t.Errorf("split at LEN: %v", err)
+	}
+	ed := Chunk{Type: TypeED, Size: 8, Len: 1, Payload: make([]byte, 8)}
+	if _, _, err := ed.Split(1); err != ErrControlOp {
+		t.Errorf("control split: %v", err)
+	}
+}
+
+// TestSplitMergeInverse: Merge(Split(c)) == c for every split point —
+// "chunks preserve all of their properties under fragmentation".
+func TestSplitMergeInverse(t *testing.T) {
+	c := sampleChunk()
+	for n := uint32(1); n < c.Len; n++ {
+		a, b, err := c.Split(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !CanMerge(&a, &b) {
+			t.Fatalf("halves at %d must be merge-eligible", n)
+		}
+		m, err := Merge(&a, &b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.Equal(&c) {
+			t.Fatalf("split at %d then merge != original:\n got %v\nwant %v", n, &m, &c)
+		}
+	}
+}
+
+func TestSplitMergeInverseProperty(t *testing.T) {
+	f := func(size uint16, payload []byte, csn, tsn, xsn uint64, cst, tst, xst bool, at uint32) bool {
+		c, ok := quickChunk(TypeData, size%16, payload, 1, 2, 3, csn, tsn, xsn, cst, tst, xst)
+		if !ok || c.Len < 2 {
+			return true
+		}
+		n := 1 + at%(c.Len-1)
+		a, b, err := c.Split(n)
+		if err != nil {
+			return false
+		}
+		m, err := Merge(&a, &b)
+		return err == nil && m.Equal(&c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRepeatedSplit: "the algorithm below can be repeated until each
+// chunk carries only a single unit of data" — fully atomise and then
+// reassemble in one MergeAll pass.
+func TestRepeatedSplit(t *testing.T) {
+	c := sampleChunk()
+	pieces := []Chunk{c}
+	for {
+		var next []Chunk
+		split := false
+		for _, p := range pieces {
+			if p.Len > 1 {
+				a, b, err := p.Split(1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				next = append(next, a, b)
+				split = true
+			} else {
+				next = append(next, p)
+			}
+		}
+		pieces = next
+		if !split {
+			break
+		}
+	}
+	if len(pieces) != int(c.Len) {
+		t.Fatalf("atomised into %d pieces, want %d", len(pieces), c.Len)
+	}
+	merged := MergeAll(pieces)
+	if len(merged) != 1 || !merged[0].Equal(&c) {
+		t.Fatalf("MergeAll of atoms != original: %v", merged)
+	}
+}
+
+func TestSplitToFit(t *testing.T) {
+	c := sampleChunk()
+	c.Size = 1
+	c.Len = 100
+	c.Payload = make([]byte, 100)
+	for i := range c.Payload {
+		c.Payload[i] = byte(i)
+	}
+	budget := HeaderSize + 32
+	out, err := c.SplitToFit(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 4 { // ceil(100/32)
+		t.Fatalf("got %d chunks", len(out))
+	}
+	total := 0
+	for i, p := range out {
+		if p.EncodedLen() > budget {
+			t.Fatalf("chunk %d oversize: %d > %d", i, p.EncodedLen(), budget)
+		}
+		total += p.Elems()
+	}
+	if total != 100 {
+		t.Fatalf("elements lost: %d", total)
+	}
+	merged := MergeAll(out)
+	if len(merged) != 1 || !merged[0].Equal(&c) {
+		t.Fatal("SplitToFit pieces must reassemble to the original")
+	}
+}
+
+func TestSplitToFitEdge(t *testing.T) {
+	c := sampleChunk()
+	// Fits outright: single chunk back.
+	out, err := c.SplitToFit(c.EncodedLen())
+	if err != nil || len(out) != 1 || !out[0].Equal(&c) {
+		t.Fatalf("fit case: %v %v", out, err)
+	}
+	// Budget below one element + header: impossible.
+	if _, err := c.SplitToFit(HeaderSize + 1); err != ErrTooLarge {
+		t.Fatalf("want ErrTooLarge, got %v", err)
+	}
+	// Control chunks over budget cannot be split.
+	ed := Chunk{Type: TypeED, Size: 8, Len: 1, Payload: make([]byte, 8)}
+	if _, err := ed.SplitToFit(HeaderSize + 4); err != ErrControlOp {
+		t.Fatalf("want ErrControlOp, got %v", err)
+	}
+	term := Terminator()
+	if _, err := term.SplitToFit(100); err != ErrSplitRange {
+		t.Fatalf("terminator: want ErrSplitRange, got %v", err)
+	}
+}
+
+func TestSplitPayloadAliasing(t *testing.T) {
+	c := sampleChunk()
+	a, b, _ := c.Split(2)
+	c.Payload[0] = 0xAA
+	c.Payload[4] = 0xBB
+	if a.Payload[0] != 0xAA || b.Payload[0] != 0xBB {
+		t.Fatal("Split halves should alias the original payload")
+	}
+	// But appending to the first half must not clobber the second.
+	a.Payload = append(a.Payload, 0xFF)
+	if b.Payload[0] == 0xFF {
+		t.Fatal("first half capacity must be clipped (three-index slice)")
+	}
+}

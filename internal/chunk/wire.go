@@ -1,0 +1,145 @@
+package chunk
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Wire format: the paper's "simple version of chunks ... easy to parse
+// because of their fixed-field format" (Appendix A). All integers are
+// big-endian. Appendix A's bandwidth-saving transformations are
+// implemented as invertible rewrites in package compress; the protocol
+// is defined over this simplest form.
+//
+//	offset  size  field
+//	0       1     TYPE
+//	1       1     FLAGS (bit0 C.ST, bit1 T.ST, bit2 X.ST)
+//	2       2     SIZE
+//	4       4     LEN
+//	8       4     C.ID
+//	12      8     C.SN
+//	20      4     T.ID
+//	24      8     T.SN
+//	32      4     X.ID
+//	36      8     X.SN
+//	44      -     payload (LEN*SIZE bytes)
+//
+// A terminator (LEN=0) is encoded as the single byte 0x00: since TYPE
+// 0 is invalid, a zero first byte unambiguously marks end-of-packet,
+// mirroring the paper's LEN=0 convention while costing one byte.
+
+// HeaderSize is the encoded size of a chunk header.
+const HeaderSize = 44
+
+// TerminatorSize is the encoded size of the end-of-packet marker.
+const TerminatorSize = 1
+
+const (
+	flagCST = 1 << 0
+	flagTST = 1 << 1
+	flagXST = 1 << 2
+)
+
+// Wire decoding errors.
+var (
+	ErrShortBuffer = errors.New("chunk: buffer too short")
+	ErrBadFlags    = errors.New("chunk: undefined flag bits set")
+)
+
+// EncodedLen returns the number of bytes AppendTo will write.
+func (c *Chunk) EncodedLen() int {
+	if c.IsTerminator() {
+		return TerminatorSize
+	}
+	return HeaderSize + len(c.Payload)
+}
+
+// AppendTo appends the wire encoding of c to b and returns the
+// extended slice. It never fails; call Validate first if c may be
+// malformed.
+func (c *Chunk) AppendTo(b []byte) []byte {
+	if c.IsTerminator() {
+		return append(b, 0)
+	}
+	var flags byte
+	if c.C.ST {
+		flags |= flagCST
+	}
+	if c.T.ST {
+		flags |= flagTST
+	}
+	if c.X.ST {
+		flags |= flagXST
+	}
+	b = append(b, byte(c.Type), flags)
+	b = binary.BigEndian.AppendUint16(b, c.Size)
+	b = binary.BigEndian.AppendUint32(b, c.Len)
+	b = binary.BigEndian.AppendUint32(b, c.C.ID)
+	b = binary.BigEndian.AppendUint64(b, c.C.SN)
+	b = binary.BigEndian.AppendUint32(b, c.T.ID)
+	b = binary.BigEndian.AppendUint64(b, c.T.SN)
+	b = binary.BigEndian.AppendUint32(b, c.X.ID)
+	b = binary.BigEndian.AppendUint64(b, c.X.SN)
+	return append(b, c.Payload...)
+}
+
+// DecodeFromBytes parses one chunk from the front of b into c, in the
+// style of gopacket's DecodingLayer: no allocation, with c.Payload
+// aliasing b. It returns the number of bytes consumed.
+func (c *Chunk) DecodeFromBytes(b []byte) (int, error) {
+	if len(b) < 1 {
+		return 0, ErrShortBuffer
+	}
+	if b[0] == 0 { // terminator: TYPE 0 is otherwise invalid
+		*c = Terminator()
+		return TerminatorSize, nil
+	}
+	if len(b) < HeaderSize {
+		return 0, ErrShortBuffer
+	}
+	typ := Type(b[0])
+	if !typ.Valid() {
+		return 0, ErrBadType
+	}
+	flags := b[1]
+	if flags&^(flagCST|flagTST|flagXST) != 0 {
+		return 0, ErrBadFlags
+	}
+	c.Type = typ
+	c.Size = binary.BigEndian.Uint16(b[2:4])
+	c.Len = binary.BigEndian.Uint32(b[4:8])
+	c.C = Tuple{
+		ID: binary.BigEndian.Uint32(b[8:12]),
+		SN: binary.BigEndian.Uint64(b[12:20]),
+		ST: flags&flagCST != 0,
+	}
+	c.T = Tuple{
+		ID: binary.BigEndian.Uint32(b[20:24]),
+		SN: binary.BigEndian.Uint64(b[24:32]),
+		ST: flags&flagTST != 0,
+	}
+	c.X = Tuple{
+		ID: binary.BigEndian.Uint32(b[32:36]),
+		SN: binary.BigEndian.Uint64(b[36:44]),
+		ST: flags&flagXST != 0,
+	}
+	if c.Size == 0 {
+		return 0, ErrBadSize
+	}
+	n := c.PayloadLen()
+	if n > MaxPayload {
+		return 0, ErrTooLarge
+	}
+	if len(b) < HeaderSize+n {
+		return 0, ErrShortBuffer
+	}
+	c.Payload = b[HeaderSize : HeaderSize+n : HeaderSize+n]
+	return HeaderSize + n, nil
+}
+
+// Decode parses one chunk from the front of b, returning it by value.
+func Decode(b []byte) (Chunk, int, error) {
+	var c Chunk
+	n, err := c.DecodeFromBytes(b)
+	return c, n, err
+}

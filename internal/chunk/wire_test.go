@@ -1,0 +1,183 @@
+package chunk
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWireRoundTrip(t *testing.T) {
+	c := sampleChunk()
+	b := c.AppendTo(nil)
+	if len(b) != c.EncodedLen() {
+		t.Fatalf("encoded %d bytes, EncodedLen says %d", len(b), c.EncodedLen())
+	}
+	got, n, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(b) {
+		t.Fatalf("consumed %d of %d", n, len(b))
+	}
+	if !got.Equal(&c) {
+		t.Fatalf("round trip mismatch:\n got %v\nwant %v", &got, &c)
+	}
+}
+
+func TestWireTerminator(t *testing.T) {
+	term := Terminator()
+	b := term.AppendTo(nil)
+	if len(b) != TerminatorSize || b[0] != 0 {
+		t.Fatalf("terminator encoding = %v", b)
+	}
+	got, n, err := Decode(b)
+	if err != nil || n != 1 || !got.IsTerminator() {
+		t.Fatalf("terminator decode: %v %d %v", got, n, err)
+	}
+}
+
+func TestWireShortBuffers(t *testing.T) {
+	c := sampleChunk()
+	b := c.AppendTo(nil)
+	for _, cut := range []int{0, 1, HeaderSize - 1, HeaderSize, len(b) - 1} {
+		if cut == len(b) {
+			continue
+		}
+		if _, _, err := Decode(b[:cut]); err != ErrShortBuffer {
+			t.Errorf("cut=%d: want ErrShortBuffer, got %v", cut, err)
+		}
+	}
+}
+
+func TestWireBadType(t *testing.T) {
+	c := sampleChunk()
+	b := c.AppendTo(nil)
+	b[0] = 99
+	if _, _, err := Decode(b); err != ErrBadType {
+		t.Fatalf("want ErrBadType, got %v", err)
+	}
+}
+
+func TestWireBadFlags(t *testing.T) {
+	c := sampleChunk()
+	b := c.AppendTo(nil)
+	b[1] |= 0x80
+	if _, _, err := Decode(b); err != ErrBadFlags {
+		t.Fatalf("want ErrBadFlags, got %v", err)
+	}
+}
+
+func TestWireBadSize(t *testing.T) {
+	c := sampleChunk()
+	b := c.AppendTo(nil)
+	b[2], b[3] = 0, 0 // SIZE = 0
+	if _, _, err := Decode(b); err != ErrBadSize {
+		t.Fatalf("want ErrBadSize, got %v", err)
+	}
+}
+
+func TestWireHugeLen(t *testing.T) {
+	c := sampleChunk()
+	b := c.AppendTo(nil)
+	// Forge LEN and SIZE so LEN*SIZE > MaxPayload: the decoder must
+	// refuse rather than trust a corrupted header.
+	b[2], b[3] = 0xFF, 0xFF
+	b[4], b[5], b[6], b[7] = 0x00, 0xFF, 0xFF, 0xFF
+	if _, _, err := Decode(b); err != ErrTooLarge {
+		t.Fatalf("want ErrTooLarge, got %v", err)
+	}
+}
+
+func TestWirePayloadAliases(t *testing.T) {
+	c := sampleChunk()
+	b := c.AppendTo(nil)
+	got, _, _ := Decode(b)
+	b[HeaderSize] = 0xEE
+	if got.Payload[0] != 0xEE {
+		t.Fatal("decoded payload should alias the input buffer (NoCopy)")
+	}
+}
+
+func TestWireBackToBack(t *testing.T) {
+	// Two chunks then a terminator in one buffer, as inside a packet.
+	a, c := sampleChunk(), sampleChunk()
+	c.T.SN = 4
+	var buf []byte
+	buf = a.AppendTo(buf)
+	buf = c.AppendTo(buf)
+	term := Terminator()
+	buf = term.AppendTo(buf)
+
+	var dec Chunk
+	n1, err := dec.DecodeFromBytes(buf)
+	if err != nil || !dec.Equal(&a) {
+		t.Fatalf("first decode: %v", err)
+	}
+	n2, err := dec.DecodeFromBytes(buf[n1:])
+	if err != nil || !dec.Equal(&c) {
+		t.Fatalf("second decode: %v", err)
+	}
+	n3, err := dec.DecodeFromBytes(buf[n1+n2:])
+	if err != nil || !dec.IsTerminator() || n3 != 1 {
+		t.Fatalf("terminator decode: %v", err)
+	}
+}
+
+func quickChunk(typ Type, size uint16, payload []byte, cid, tid, xid uint32, csn, tsn, xsn uint64, cst, tst, xst bool) (Chunk, bool) {
+	if size == 0 {
+		size = 1
+	}
+	n := len(payload) / int(size)
+	if n == 0 {
+		return Chunk{}, false
+	}
+	if n > 1<<16 {
+		n = 1 << 16
+	}
+	return Chunk{
+		Type: typ, Size: size, Len: uint32(n),
+		C: Tuple{cid, csn, cst}, T: Tuple{tid, tsn, tst}, X: Tuple{xid, xsn, xst},
+		Payload: payload[:n*int(size)],
+	}, true
+}
+
+func TestWireRoundTripProperty(t *testing.T) {
+	f := func(size uint16, payload []byte, cid, tid, xid uint32, csn, tsn, xsn uint64, cst, tst, xst bool) bool {
+		c, ok := quickChunk(TypeData, size%128, payload, cid, tid, xid, csn, tsn, xsn, cst, tst, xst)
+		if !ok {
+			return true
+		}
+		b := c.AppendTo(nil)
+		got, n, err := Decode(b)
+		return err == nil && n == len(b) && got.Equal(&c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAppendTo(b *testing.B) {
+	c := sampleChunk()
+	c.Payload = make([]byte, 1024)
+	c.Len, c.Size = 256, 4
+	buf := make([]byte, 0, 2048)
+	b.SetBytes(int64(c.EncodedLen()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = c.AppendTo(buf[:0])
+	}
+}
+
+func BenchmarkDecodeFromBytes(b *testing.B) {
+	c := sampleChunk()
+	c.Payload = make([]byte, 1024)
+	c.Len, c.Size = 256, 4
+	buf := c.AppendTo(nil)
+	var dec Chunk
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dec.DecodeFromBytes(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+
+	"chunks/internal/chunk"
+)
+
+// TestFigure7ImplicitTID (experiment F7) reproduces Figure 7 exactly:
+// per-element C.SN 35..42, T.SN 5,0,1,2,3,4,5,0 (T.ST on the first
+// and seventh elements) yield derived T.IDs 30, 36×6, 42.
+func TestFigure7ImplicitTID(t *testing.T) {
+	csn := []uint64{35, 36, 37, 38, 39, 40, 41, 42}
+	tsn := []uint64{5, 0, 1, 2, 3, 4, 5, 0}
+	want := []uint32{30, 36, 36, 36, 36, 36, 36, 42}
+	for i := range csn {
+		if got := DeriveImplicitTID(csn[i], tsn[i]); got != want[i] {
+			t.Errorf("element %d: implicit T.ID = %d, want %d", i, got, want[i])
+		}
+	}
+}
+
+func freshPair() (*Context, *Context) {
+	sizes := map[chunk.Type]uint16{chunk.TypeData: 4, chunk.TypeED: 8}
+	return NewContext(0xA, sizes), NewContext(0xA, sizes)
+}
+
+// stream builds an ordered chunk stream: several TPDUs whose T.IDs
+// follow the implicit rule, over one connection and a sequence of
+// external PDUs.
+func stream(seed int64, tpdus, elemsPer int) []chunk.Chunk {
+	rng := rand.New(rand.NewSource(seed))
+	var out []chunk.Chunk
+	csn, xsn := uint64(100), uint64(0)
+	xid := uint32(0xE0)
+	for i := 0; i < tpdus; i++ {
+		payload := make([]byte, elemsPer*4)
+		rng.Read(payload)
+		xst := rng.Intn(2) == 0
+		c := chunk.Chunk{
+			Type: chunk.TypeData, Size: 4, Len: uint32(elemsPer),
+			C:       chunk.Tuple{ID: 0xA, SN: csn},
+			T:       chunk.Tuple{ID: DeriveImplicitTID(csn, 0), SN: 0, ST: true},
+			X:       chunk.Tuple{ID: xid, SN: xsn, ST: xst},
+			Payload: payload,
+		}
+		out = append(out, c)
+		csn += uint64(elemsPer)
+		if xst {
+			xid++
+			xsn = 0
+		} else {
+			xsn += uint64(elemsPer)
+		}
+	}
+	return out
+}
+
+func TestRoundTripOrderedStream(t *testing.T) {
+	enc, dec := freshPair()
+	for i, c := range stream(1, 20, 16) {
+		b := enc.Append(nil, &c)
+		got, n, err := dec.Decode(b)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", i, err)
+		}
+		if n != len(b) {
+			t.Fatalf("chunk %d: consumed %d of %d", i, n, len(b))
+		}
+		if !got.Equal(&c) {
+			t.Fatalf("chunk %d mismatch:\n got %v\nwant %v", i, &got, &c)
+		}
+	}
+}
+
+// TestSuppressionKicksIn: after the first chunk of a TPDU run, SNs,
+// IDs and SIZE are all elided, shrinking the per-chunk header to a
+// handful of bytes versus the 44-byte fixed header.
+func TestSuppressionKicksIn(t *testing.T) {
+	enc, _ := freshPair()
+	chs := stream(2, 10, 16)
+	var sizes []int
+	for i := range chs {
+		b := enc.Append(nil, &chs[i])
+		sizes = append(sizes, len(b)-len(chs[i].Payload))
+	}
+	if sizes[0] <= 4 {
+		t.Fatalf("first chunk must carry a sync header, got %d bytes", sizes[0])
+	}
+	for i := 1; i < len(sizes); i++ {
+		// Steady-state: TYPE + flags + LEN (+ occasionally X.ID).
+		if sizes[i] > 10 {
+			t.Fatalf("chunk %d header is %d bytes; suppression failed", i, sizes[i])
+		}
+	}
+}
+
+func TestRoundTripFragmentedStream(t *testing.T) {
+	// Compression must survive arbitrary in-order fragmentation: split
+	// chunks still code and decode exactly.
+	enc, dec := freshPair()
+	rng := rand.New(rand.NewSource(5))
+	for _, c := range stream(3, 10, 32) {
+		pieces := []chunk.Chunk{c}
+		if c.Len > 1 {
+			a, b, err := c.Split(1 + uint32(rng.Intn(int(c.Len-1))))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pieces = []chunk.Chunk{a, b}
+		}
+		for _, p := range pieces {
+			b := enc.Append(nil, &p)
+			got, _, err := dec.Decode(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(&p) {
+				t.Fatalf("fragment mismatch:\n got %v\nwant %v", &got, &p)
+			}
+		}
+	}
+}
+
+func TestRoundTripControlChunks(t *testing.T) {
+	enc, dec := freshPair()
+	ed := chunk.Chunk{
+		Type: chunk.TypeED, Size: 8, Len: 1,
+		C:       chunk.Tuple{ID: 0xA, SN: 100},
+		T:       chunk.Tuple{ID: 36},
+		Payload: []byte{1, 2, 3, 4, 5, 6, 7, 8},
+	}
+	b := enc.Append(nil, &ed)
+	got, _, err := dec.Decode(b)
+	if err != nil || !got.Equal(&ed) {
+		t.Fatalf("ED chunk: %v, %v", &got, err)
+	}
+	// A signaling chunk with an unnegotiated TYPE size must carry
+	// SIZE explicitly and still round-trip.
+	sig := chunk.Chunk{Type: chunk.TypeSignal, Size: 3, Len: 1,
+		C: chunk.Tuple{ID: 0xB}, Payload: []byte{9, 9, 9}}
+	b = enc.Append(nil, &sig)
+	got, _, err = dec.Decode(b)
+	if err != nil || !got.Equal(&sig) {
+		t.Fatalf("signal chunk: %v, %v", &got, err)
+	}
+}
+
+func TestTerminator(t *testing.T) {
+	enc, dec := freshPair()
+	term := chunk.Terminator()
+	b := enc.Append(nil, &term)
+	if len(b) != 1 || b[0] != 0 {
+		t.Fatalf("terminator encoding = %v", b)
+	}
+	got, n, err := dec.Decode(b)
+	if err != nil || n != 1 || !got.IsTerminator() {
+		t.Fatalf("terminator decode: %v %d %v", &got, n, err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	_, dec := freshPair()
+	if _, _, err := dec.Decode(nil); err != ErrShortBuffer {
+		t.Errorf("empty: %v", err)
+	}
+	if _, _, err := dec.Decode([]byte{99, 0, 1}); err != chunk.ErrBadType {
+		t.Errorf("bad type: %v", err)
+	}
+	if _, _, err := dec.Decode([]byte{byte(chunk.TypeData)}); err != ErrShortBuffer {
+		t.Errorf("no flags: %v", err)
+	}
+	// SIZE elided for a type with no negotiated size.
+	ctx := NewContext(1, nil)
+	b := []byte{byte(chunk.TypeData), flagSNs, 1, 0, 0, 0}
+	if _, _, err := ctx.Decode(b); err == nil {
+		t.Error("missing negotiated size must fail")
+	}
+	// Truncated payload.
+	enc, dec2 := freshPair()
+	c := stream(1, 1, 4)[0]
+	full := enc.Append(nil, &c)
+	if _, _, err := dec2.Decode(full[:len(full)-1]); err != ErrShortBuffer {
+		t.Errorf("truncated payload: %v", err)
+	}
+}
+
+// TestRoundTripRandomStream is the invertibility property over
+// arbitrary (well-formed, in-order) streams including odd sizes and
+// explicit everything.
+func TestRoundTripRandomStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	enc, dec := freshPair()
+	csn := uint64(0)
+	for i := 0; i < 200; i++ {
+		size := uint16(1 + rng.Intn(9))
+		n := 1 + rng.Intn(20)
+		payload := make([]byte, int(size)*n)
+		rng.Read(payload)
+		c := chunk.Chunk{
+			Type: chunk.TypeData, Size: size, Len: uint32(n),
+			C:       chunk.Tuple{ID: uint32(rng.Intn(3)) + 9, SN: csn},
+			T:       chunk.Tuple{ID: rng.Uint32(), SN: uint64(rng.Intn(50)), ST: rng.Intn(3) == 0},
+			X:       chunk.Tuple{ID: rng.Uint32() % 8, SN: uint64(rng.Intn(50)), ST: rng.Intn(3) == 0},
+			Payload: payload,
+		}
+		csn += uint64(n)
+		b := enc.Append(nil, &c)
+		got, consumed, err := dec.Decode(b)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", i, err)
+		}
+		if consumed != len(b) || !got.Equal(&c) {
+			t.Fatalf("chunk %d mismatch", i)
+		}
+	}
+}
+
+// TestSavings quantifies Appendix A's point (experiment P6): on a
+// well-behaved bulk stream the compressed header is a small fraction
+// of the fixed header.
+func TestSavings(t *testing.T) {
+	ctx := NewContext(0xA, map[chunk.Type]uint16{chunk.TypeData: 4})
+	chs := stream(7, 50, 16)
+	fixed, compressed := Savings(*ctx, chs)
+	if compressed >= fixed {
+		t.Fatalf("compression made things worse: %d >= %d", compressed, fixed)
+	}
+	payload := 0
+	for i := range chs {
+		payload += len(chs[i].Payload)
+	}
+	fixedHdr := fixed - payload
+	compHdr := compressed - payload
+	if compHdr*4 > fixedHdr {
+		t.Fatalf("expected >4x header reduction: fixed %d vs compressed %d", fixedHdr, compHdr)
+	}
+}
+
+func BenchmarkCompressAppend(b *testing.B) {
+	chs := stream(1, 64, 16)
+	ctx := NewContext(0xA, map[chunk.Type]uint16{chunk.TypeData: 4})
+	var buf []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := &chs[i%len(chs)]
+		buf = ctx.Append(buf[:0], c)
+	}
+}
+
+func BenchmarkCompressDecode(b *testing.B) {
+	chs := stream(1, 2, 16)
+	encCtx := NewContext(0xA, map[chunk.Type]uint16{chunk.TypeData: 4})
+	one := encCtx.Append(nil, &chs[0])
+	two := encCtx.Append(nil, &chs[1])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := NewContext(0xA, map[chunk.Type]uint16{chunk.TypeData: 4})
+		if _, _, err := ctx.Decode(one); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := ctx.Decode(two); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

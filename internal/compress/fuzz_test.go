@@ -1,0 +1,74 @@
+package compress
+
+import (
+	"testing"
+	"testing/quick"
+
+	"chunks/internal/chunk"
+)
+
+// TestDecodeArbitraryBytes: the stateful decompressor must never
+// panic and, on success, must produce a structurally valid chunk.
+func TestDecodeArbitraryBytes(t *testing.T) {
+	f := func(b []byte, cid uint32) bool {
+		ctx := NewContext(cid, map[chunk.Type]uint16{chunk.TypeData: 4, chunk.TypeED: 8})
+		c, n, err := ctx.Decode(b)
+		if err != nil {
+			return true
+		}
+		if n <= 0 || n > len(b) {
+			return false
+		}
+		return c.IsTerminator() || c.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecodeArbitraryStream: feeding random bytes repeatedly through
+// one context (so counter state evolves arbitrarily) stays safe.
+func TestDecodeArbitraryStream(t *testing.T) {
+	f := func(chunks [][]byte) bool {
+		ctx := NewContext(7, map[chunk.Type]uint16{chunk.TypeData: 2})
+		for _, b := range chunks {
+			c, _, err := ctx.Decode(b)
+			if err != nil {
+				continue
+			}
+			if !c.IsTerminator() && c.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func FuzzCompressRoundTrip(f *testing.F) {
+	f.Add(uint64(100), uint64(0), uint64(5), []byte{1, 2, 3, 4}, true, false)
+	f.Fuzz(func(t *testing.T, csn, tsn, xsn uint64, payload []byte, tst, xst bool) {
+		if len(payload) == 0 || len(payload) > 4096 {
+			return
+		}
+		enc := NewContext(1, map[chunk.Type]uint16{chunk.TypeData: 1})
+		dec := NewContext(1, map[chunk.Type]uint16{chunk.TypeData: 1})
+		c := chunk.Chunk{
+			Type: chunk.TypeData, Size: 1, Len: uint32(len(payload)),
+			C:       chunk.Tuple{ID: 1, SN: csn},
+			T:       chunk.Tuple{ID: uint32(csn - tsn), SN: tsn, ST: tst},
+			X:       chunk.Tuple{ID: 9, SN: xsn, ST: xst},
+			Payload: payload,
+		}
+		b := enc.Append(nil, &c)
+		got, n, err := dec.Decode(b)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if n != len(b) || !got.Equal(&c) {
+			t.Fatalf("round trip mismatch")
+		}
+	})
+}

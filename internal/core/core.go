@@ -1,0 +1,248 @@
+// Package core is the top of the chunks library: a concurrency-safe,
+// UDP-backed connection API over the chunk transport protocol. It is
+// what a downstream application imports; the substrate packages
+// (chunk, packet, errdet, transport, ...) implement the paper's
+// mechanisms and are composed here.
+//
+// A connection is uni-directional (Section 2: "we assume that data
+// streams are uni-directional and that bi-directional streams are
+// constructed with two uni-directional streams"): a Conn writes, a
+// Server receives, and the reverse UDP path carries only ACK/NACK
+// control chunks.
+//
+//	srv, _ := core.Serve("127.0.0.1:0", core.Config{})
+//	conn, _ := core.Dial(srv.Addr().String(), core.Config{CID: 7})
+//	conn.Write(data)
+//	conn.Close()          // flush + close signal
+//	conn.WaitDrained(5 * time.Second)
+//	srv.Stream()          // the placed application bytes
+package core
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"chunks/internal/errdet"
+	"chunks/internal/transport"
+)
+
+// Config carries the tunables shared by Dial and Serve.
+type Config struct {
+	// CID is the connection ID (Dial side).
+	CID uint32
+	// MTU bounds datagrams; 0 means 1400.
+	MTU int
+	// ElemSize is the atomic element size; 0 means 4.
+	ElemSize uint16
+	// TPDUElems is the TPDU size in elements; 0 means 256.
+	TPDUElems int
+	// Adapt enables adaptive TPDU sizing under loss.
+	Adapt bool
+	// Window, when > 0, bounds the TPDUs in flight: Write blocks
+	// while more than Window TPDUs await acknowledgment (simple flow
+	// control; the paper leaves flow control to the error control
+	// protocol).
+	Window int
+	// Repair enables receive-side single-symbol error correction.
+	Repair bool
+	// PollEvery is the retransmission/NACK timer period; 0 means
+	// 20ms.
+	PollEvery time.Duration
+	// OnFrame and OnTPDU are receive-side delivery callbacks.
+	OnFrame func(xid uint32, data []byte)
+	// OnTPDU fires once per TPDU with its end-to-end verdict.
+	OnTPDU func(tid uint32, v errdet.Verdict)
+}
+
+func (c *Config) fill() {
+	if c.MTU == 0 {
+		c.MTU = 1400
+	}
+	if c.PollEvery == 0 {
+		c.PollEvery = 20 * time.Millisecond
+	}
+}
+
+// ErrTimeout reports that WaitDrained/WaitClosed gave up.
+var ErrTimeout = errors.New("core: wait timed out")
+
+// ErrShutdown reports use of a connection after Shutdown.
+var ErrShutdown = errors.New("core: connection shut down")
+
+// A Conn is the sending end of a chunk connection over UDP.
+type Conn struct {
+	mu     sync.Mutex
+	s      *transport.Sender
+	sock   *net.UDPConn
+	window int
+	done   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// Dial opens a sending connection to a Server's UDP address.
+func Dial(addr string, cfg Config) (*Conn, error) {
+	cfg.fill()
+	raddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	sock, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return nil, err
+	}
+	// Large socket buffers soften synchronous write bursts; residual
+	// loss is recovered by NACK/timeout retransmission.
+	_ = sock.SetWriteBuffer(4 << 20)
+	_ = sock.SetReadBuffer(4 << 20)
+	c := &Conn{sock: sock, window: cfg.Window, done: make(chan struct{})}
+	c.s = transport.NewSender(transport.SenderConfig{
+		CID: cfg.CID, MTU: cfg.MTU, ElemSize: cfg.ElemSize,
+		TPDUElems: cfg.TPDUElems, Adapt: cfg.Adapt,
+	}, func(d []byte) {
+		// Best-effort datagram send; loss is the protocol's problem.
+		_, _ = sock.Write(d)
+	})
+
+	// Control read loop: ACKs and NACKs from the receiver.
+	c.wg.Add(2)
+	go func() {
+		defer c.wg.Done()
+		buf := make([]byte, 65536)
+		for {
+			_ = sock.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+			n, err := sock.Read(buf)
+			if err != nil {
+				select {
+				case <-c.done:
+					return
+				default:
+					continue
+				}
+			}
+			c.handleControl(buf[:n])
+		}
+	}()
+	// Retransmission timer.
+	go func() {
+		defer c.wg.Done()
+		tick := time.NewTicker(cfg.PollEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-c.done:
+				return
+			case <-tick.C:
+				c.mu.Lock()
+				_ = c.s.Poll()
+				c.mu.Unlock()
+			}
+		}
+	}()
+	return c, nil
+}
+
+func (c *Conn) handleControl(datagram []byte) {
+	chs, err := decodePacketChunks(datagram)
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range chs {
+		_ = c.s.HandleControl(&chs[i])
+	}
+}
+
+// Write sends element-aligned application bytes, blocking while the
+// in-flight window (Config.Window) is full.
+func (c *Conn) Write(data []byte) error {
+	for c.window > 0 {
+		c.mu.Lock()
+		ok := c.s.Unacked() <= c.window
+		c.mu.Unlock()
+		if ok {
+			break
+		}
+		select {
+		case <-c.done:
+			return ErrShutdown
+		case <-time.After(time.Millisecond):
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.Write(data)
+}
+
+// EndFrame closes the current Application Layer Frame.
+func (c *Conn) EndFrame() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.EndFrame()
+}
+
+// Flush transmits buffered data as a short TPDU.
+func (c *Conn) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.Flush()
+}
+
+// Close flushes and sends the close signal. The socket stays open for
+// retransmissions until WaitDrained or Shutdown.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.Close()
+}
+
+// Unacked returns the number of TPDUs not yet verified end-to-end.
+func (c *Conn) Unacked() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.Unacked()
+}
+
+func (c *Conn) drained() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.Drained()
+}
+
+// Stats returns (TPDUs sent, retransmissions).
+func (c *Conn) Stats() (sent, retransmits int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.TPDUsSent, c.s.Retransmits
+}
+
+// WaitDrained blocks until every TPDU is acknowledged (and the close
+// signal, if sent, is acknowledged) or the timeout elapses, then shuts
+// the connection down.
+func (c *Conn) WaitDrained(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if c.drained() {
+			c.Shutdown()
+			return nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	c.Shutdown()
+	return fmt.Errorf("%w: %d TPDUs unacknowledged", ErrTimeout, c.Unacked())
+}
+
+// Shutdown stops the background goroutines and closes the socket.
+func (c *Conn) Shutdown() {
+	select {
+	case <-c.done:
+		return
+	default:
+		close(c.done)
+	}
+	c.wg.Wait()
+	_ = c.sock.Close()
+}

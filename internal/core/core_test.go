@@ -1,0 +1,184 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"chunks/internal/errdet"
+)
+
+func testData(n int, seed int64) []byte {
+	b := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(b)
+	return b
+}
+
+// TestLoopbackTransfer runs the full stack — sender, packets, UDP,
+// receiver, placement, WSC-2 verification, ACKs — over the loopback
+// interface.
+func TestLoopbackTransfer(t *testing.T) {
+	data := testData(64*1024, 1)
+
+	var mu sync.Mutex
+	verdicts := map[uint32]errdet.Verdict{}
+	srv, err := Serve("127.0.0.1:0", Config{
+		OnTPDU: func(tid uint32, v errdet.Verdict) {
+			mu.Lock()
+			verdicts[tid] = v
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+
+	conn, err := Dial(srv.Addr().String(), Config{CID: 7, TPDUElems: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.WaitDrained(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.WaitClosed(len(data), 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(srv.Stream(), data) {
+		t.Fatal("received stream differs from sent data")
+	}
+	sent, _ := conn.Stats()
+	if srv.VerifiedCount() != sent {
+		t.Fatalf("verified %d of %d TPDUs", srv.VerifiedCount(), sent)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for tid, v := range verdicts {
+		if v != errdet.VerdictOK {
+			t.Fatalf("TPDU %d verdict %v", tid, v)
+		}
+	}
+	if fs := srv.Findings(); len(fs) != 0 {
+		t.Fatalf("findings: %v", fs)
+	}
+}
+
+func TestLoopbackFrames(t *testing.T) {
+	frames := [][]byte{testData(4000, 2), testData(2400, 3), testData(800, 4)}
+
+	var mu sync.Mutex
+	got := map[uint32][]byte{}
+	srv, err := Serve("127.0.0.1:0", Config{
+		OnFrame: func(xid uint32, data []byte) {
+			mu.Lock()
+			got[xid] = append([]byte(nil), data...)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+
+	conn, err := Dial(srv.Addr().String(), Config{CID: 8, TPDUElems: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, f := range frames {
+		if err := conn.Write(f); err != nil {
+			t.Fatal(err)
+		}
+		conn.EndFrame()
+		total += len(f)
+	}
+	if err := conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.WaitDrained(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.WaitClosed(total, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Frames deliver asynchronously; give callbacks a moment.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == len(frames) || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != len(frames) {
+		t.Fatalf("delivered %d of %d frames", len(got), len(frames))
+	}
+	for i, f := range frames {
+		if !bytes.Equal(got[uint32(i+1)], f) {
+			t.Fatalf("frame %d mismatch", i+1)
+		}
+	}
+}
+
+func TestDialBadAddr(t *testing.T) {
+	if _, err := Dial("not-an-addr", Config{}); err == nil {
+		t.Fatal("bad address must fail")
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("not-an-addr", Config{}); err == nil {
+		t.Fatal("bad address must fail")
+	}
+}
+
+func TestWaitDrainedTimeout(t *testing.T) {
+	// A conn pointed at a black hole (no server reads) must time out.
+	srv, err := Serve("127.0.0.1:0", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr().String()
+	srv.Shutdown() // nobody listening anymore
+
+	conn, err := Dial(addr, Config{CID: 1, PollEvery: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Write(testData(64, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.WaitDrained(200 * time.Millisecond); err == nil {
+		t.Fatal("black hole must time out")
+	}
+}
+
+func TestShutdownIdempotent(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Shutdown()
+	srv.Shutdown()
+	conn, err := Dial("127.0.0.1:1", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Shutdown()
+	conn.Shutdown()
+}

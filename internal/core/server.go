@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"chunks/internal/chunk"
+	"chunks/internal/errdet"
+	"chunks/internal/packet"
+	"chunks/internal/transport"
+)
+
+// A Server is the receiving end of a chunk connection over UDP. It
+// places data immediately into its stream buffer, verifies each TPDU
+// end-to-end, ACKs/NACKs back to the sender's source address, and
+// delivers frames through the Config callbacks.
+type Server struct {
+	mu   sync.Mutex
+	r    *transport.Receiver
+	sock *net.UDPConn
+	peer *net.UDPAddr
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Serve starts a receiver on the given UDP address ("host:0" picks a
+// free port).
+func Serve(addr string, cfg Config) (*Server, error) {
+	cfg.fill()
+	laddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	sock, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, err
+	}
+	_ = sock.SetReadBuffer(8 << 20)
+	_ = sock.SetWriteBuffer(4 << 20)
+	srv := &Server{sock: sock, done: make(chan struct{})}
+	r, err := transport.NewReceiver(transport.ReceiverConfig{
+		MTU:     cfg.MTU,
+		OnFrame: cfg.OnFrame,
+		OnTPDU:  cfg.OnTPDU,
+		Repair:  cfg.Repair,
+	}, func(d []byte) {
+		srv.sendControl(d)
+	})
+	if err != nil {
+		_ = sock.Close()
+		return nil, err
+	}
+	srv.r = r
+
+	srv.wg.Add(2)
+	go func() {
+		defer srv.wg.Done()
+		buf := make([]byte, 65536)
+		for {
+			_ = sock.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+			n, from, err := sock.ReadFromUDP(buf)
+			if err != nil {
+				select {
+				case <-srv.done:
+					return
+				default:
+					continue
+				}
+			}
+			srv.mu.Lock()
+			srv.peer = from
+			_ = srv.r.HandlePacket(buf[:n])
+			srv.mu.Unlock()
+		}
+	}()
+	go func() {
+		defer srv.wg.Done()
+		tick := time.NewTicker(cfg.PollEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-srv.done:
+				return
+			case <-tick.C:
+				srv.mu.Lock()
+				srv.r.Poll()
+				srv.mu.Unlock()
+			}
+		}
+	}()
+	return srv, nil
+}
+
+// sendControl is called with srv.mu held (from HandlePacket/Poll).
+func (s *Server) sendControl(d []byte) {
+	if s.peer == nil {
+		return
+	}
+	_, _ = s.sock.WriteToUDP(d, s.peer)
+}
+
+// Addr returns the bound UDP address.
+func (s *Server) Addr() net.Addr { return s.sock.LocalAddr() }
+
+// Stream returns a copy of the application bytes placed so far.
+func (s *Server) Stream() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]byte(nil), s.r.Stream()...)
+}
+
+// VerifiedCount returns how many TPDUs verified OK.
+func (s *Server) VerifiedCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.VerifiedCount()
+}
+
+// Closed reports whether the close signal has arrived.
+func (s *Server) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.Closed()
+}
+
+// Findings returns the error detection findings so far.
+func (s *Server) Findings() []errdet.Finding {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.Findings()
+}
+
+// WaitClosed blocks until the close signal arrives and the stream has
+// n bytes, or the timeout elapses.
+func (s *Server) WaitClosed(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		s.mu.Lock()
+		ok := s.r.Closed() && len(s.r.Stream()) >= n
+		s.mu.Unlock()
+		if ok {
+			return nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return fmt.Errorf("%w: stream %d of %d bytes", ErrTimeout, len(s.Stream()), n)
+}
+
+// Shutdown stops the server.
+func (s *Server) Shutdown() {
+	select {
+	case <-s.done:
+		return
+	default:
+		close(s.done)
+	}
+	s.wg.Wait()
+	_ = s.sock.Close()
+}
+
+// decodePacketChunks unpacks one datagram into cloned chunks.
+func decodePacketChunks(d []byte) ([]chunk.Chunk, error) {
+	p, err := packet.Decode(d)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]chunk.Chunk, len(p.Chunks))
+	for i := range p.Chunks {
+		out[i] = p.Chunks[i].Clone()
+	}
+	return out, nil
+}

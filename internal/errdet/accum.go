@@ -1,0 +1,139 @@
+package errdet
+
+import (
+	"fmt"
+
+	"chunks/internal/chunk"
+	"chunks/internal/vr"
+	"chunks/internal/wsc"
+)
+
+// blockAccumulator folds chunk contributions into one TPDU's WSC-2
+// code block. It is shared by the transmitter (Encode) and the
+// receiver (Receiver); both must add exactly the same symbols for the
+// invariant to hold.
+type blockAccumulator struct {
+	layout Layout
+	acc    wsc.Accumulator
+}
+
+// addData accumulates the data symbols of elements [lo, hi) (absolute
+// T.SNs) taken from c's payload.
+func (b *blockAccumulator) addData(c *chunk.Chunk, lo, hi uint64) error {
+	if hi <= lo {
+		return nil
+	}
+	spe := SymbolsPerElement(c.Size)
+	if hi*spe > b.layout.DataSymbols {
+		return fmt.Errorf("%w: elements [%d,%d) of size %d", ErrLayout, lo, hi, c.Size)
+	}
+	off := int(lo-c.T.SN) * int(c.Size)
+	if c.Size%wsc.SymbolSize == 0 {
+		// Elements pack exactly into symbols: one contiguous run.
+		n := int(hi-lo) * int(c.Size)
+		return b.acc.AddBytes(lo*spe, c.Payload[off:off+n])
+	}
+	// Pad each element independently to its symbol slots.
+	var buf [8 * wsc.SymbolSize]byte
+	var pad []byte
+	if spe <= uint64(len(buf))/wsc.SymbolSize {
+		pad = buf[:spe*wsc.SymbolSize]
+	} else {
+		pad = make([]byte, spe*wsc.SymbolSize)
+	}
+	for sn := lo; sn < hi; sn++ {
+		for i := range pad {
+			pad[i] = 0
+		}
+		copy(pad, c.Payload[off:off+int(c.Size)])
+		off += int(c.Size)
+		if err := b.acc.AddBytes(sn*spe, pad); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// addTrigger encodes the (X.ID, X.ST) pair for the trigger element of
+// c — its LAST element — if that element carries X.ST or T.ST
+// (Figure 6). Callers must ensure the trigger element is fresh (not a
+// duplicate) before calling, since re-adding would cancel the pair.
+func (b *blockAccumulator) addTrigger(c *chunk.Chunk) error {
+	if !c.X.ST && !c.T.ST {
+		return nil
+	}
+	lastTSN := c.T.SN + uint64(c.Len) - 1
+	pos := b.layout.XPairPos(lastTSN)
+	if err := b.acc.AddSymbol(pos, c.X.ID); err != nil {
+		return err
+	}
+	var xst uint32
+	if c.X.ST {
+		xst = 1
+	}
+	return b.acc.AddSymbol(pos+1, xst)
+}
+
+// addIdentity encodes the per-TPDU constants: T.ID, C.ID and the C.ST
+// value. Called exactly once per TPDU (order does not matter, so both
+// sides defer it until the values are settled).
+func (b *blockAccumulator) addIdentity(tid, cid uint32, cst bool) error {
+	if err := b.acc.AddSymbol(b.layout.TIDPos(), tid); err != nil {
+		return err
+	}
+	if err := b.acc.AddSymbol(b.layout.CIDPos(), cid); err != nil {
+		return err
+	}
+	var v uint32
+	if cst {
+		v = 1
+	}
+	return b.acc.AddSymbol(b.layout.CSTPos(), v)
+}
+
+func (b *blockAccumulator) parity() wsc.Parity { return b.acc.Parity() }
+
+// Encode computes the transmitter-side invariant parity of one TPDU
+// from its chunks in any fragmentation state: the result is identical
+// whether chs is the single pre-fragmentation chunk or any split of it
+// — that identity is the fragmentation invariance the system rests on.
+// All chunks must be TypeData, share T.ID, C.ID and SIZE, and be
+// disjoint in T.SN.
+func Encode(layout Layout, chs []chunk.Chunk) (wsc.Parity, error) {
+	if err := layout.Validate(); err != nil {
+		return wsc.Parity{}, err
+	}
+	if len(chs) == 0 {
+		return wsc.Parity{}, fmt.Errorf("errdet: empty TPDU")
+	}
+	b := blockAccumulator{layout: layout}
+	var seen vr.IntervalSet
+	tid, cid := chs[0].T.ID, chs[0].C.ID
+	cst := false
+	for i := range chs {
+		c := &chs[i]
+		if c.Type != chunk.TypeData {
+			return wsc.Parity{}, fmt.Errorf("errdet: chunk %d is %v, want data", i, c.Type)
+		}
+		if c.T.ID != tid || c.C.ID != cid {
+			return wsc.Parity{}, fmt.Errorf("errdet: chunk %d belongs to a different PDU", i)
+		}
+		lo, hi := c.T.SN, c.T.SN+uint64(c.Len)
+		if fresh := seen.Add(lo, hi); len(fresh) != 1 || fresh[0] != (vr.Interval{Lo: lo, Hi: hi}) {
+			return wsc.Parity{}, fmt.Errorf("errdet: chunk %d overlaps another chunk", i)
+		}
+		if err := b.addData(c, lo, hi); err != nil {
+			return wsc.Parity{}, err
+		}
+		if err := b.addTrigger(c); err != nil {
+			return wsc.Parity{}, err
+		}
+		if c.C.ST {
+			cst = true
+		}
+	}
+	if err := b.addIdentity(tid, cid, cst); err != nil {
+		return wsc.Parity{}, err
+	}
+	return b.parity(), nil
+}

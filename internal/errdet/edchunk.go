@@ -1,0 +1,36 @@
+package errdet
+
+import (
+	"errors"
+
+	"chunks/internal/chunk"
+	"chunks/internal/wsc"
+)
+
+// The ED control chunk carries a TPDU's WSC-2 parity (Figure 3 shows
+// one packed beside the TPDU's final data chunk). It shares the
+// TPDU's C.ID and T.ID so the receiver can bind it to the right code
+// block; being a control chunk it is indivisible and travels whole.
+
+// ErrNotED reports a chunk that is not a well-formed ED chunk.
+var ErrNotED = errors.New("errdet: not an ED chunk")
+
+// EDChunk builds the error detection control chunk for a TPDU.
+func EDChunk(cid, tid uint32, csn uint64, par wsc.Parity) chunk.Chunk {
+	return chunk.Chunk{
+		Type:    chunk.TypeED,
+		Size:    wsc.ParitySize,
+		Len:     1,
+		C:       chunk.Tuple{ID: cid, SN: csn},
+		T:       chunk.Tuple{ID: tid},
+		Payload: par.AppendBinary(nil),
+	}
+}
+
+// ParseED extracts the parity from an ED chunk.
+func ParseED(c *chunk.Chunk) (wsc.Parity, error) {
+	if c.Type != chunk.TypeED || c.Len != 1 || c.Size != wsc.ParitySize {
+		return wsc.Parity{}, ErrNotED
+	}
+	return wsc.DecodeParity(c.Payload)
+}

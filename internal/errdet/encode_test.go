@@ -1,0 +1,254 @@
+package errdet
+
+import (
+	"math/rand"
+	"testing"
+
+	"chunks/internal/chunk"
+	"chunks/internal/gf"
+	"chunks/internal/wsc"
+)
+
+// makeTPDU builds a single-chunk TPDU: elems elements of size bytes,
+// X framing = one external PDU aligned with the TPDU.
+func makeTPDU(tid uint32, elems int, size uint16, seed int64) chunk.Chunk {
+	rng := rand.New(rand.NewSource(seed))
+	payload := make([]byte, elems*int(size))
+	rng.Read(payload)
+	return chunk.Chunk{
+		Type: chunk.TypeData, Size: size, Len: uint32(elems),
+		C:       chunk.Tuple{ID: 0xA, SN: 5000},
+		T:       chunk.Tuple{ID: tid, SN: 0, ST: true},
+		X:       chunk.Tuple{ID: 0xC0 + tid, SN: 0, ST: true},
+		Payload: payload,
+	}
+}
+
+// TestEncodeFragmentationInvariance is the core Section 4 property:
+// the invariant parity is IDENTICAL whether computed over the original
+// chunk or over any fragmentation of it.
+func TestEncodeFragmentationInvariance(t *testing.T) {
+	l := DefaultLayout()
+	rng := rand.New(rand.NewSource(17))
+	for _, size := range []uint16{1, 3, 4, 5, 8} {
+		orig := makeTPDU(1, 60, size, int64(size))
+		want, err := Encode(l, []chunk.Chunk{orig})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 10; trial++ {
+			pieces := []chunk.Chunk{orig}
+			for round := 0; round < 4; round++ {
+				var next []chunk.Chunk
+				for _, p := range pieces {
+					if p.Len > 1 && rng.Intn(2) == 0 {
+						at := 1 + uint32(rng.Intn(int(p.Len-1)))
+						a, b, err := p.Split(at)
+						if err != nil {
+							t.Fatal(err)
+						}
+						next = append(next, a, b)
+					} else {
+						next = append(next, p)
+					}
+				}
+				pieces = next
+			}
+			rng.Shuffle(len(pieces), func(i, j int) { pieces[i], pieces[j] = pieces[j], pieces[i] })
+			got, err := Encode(l, pieces)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("size=%d trial=%d: parity over %d fragments %+v != whole %+v",
+					size, trial, len(pieces), got, want)
+			}
+		}
+	}
+}
+
+// TestFigure6XIDEncoding (experiment F6) reproduces Figure 6: a TPDU
+// containing pieces of three external PDUs. A's X.ID is encoded where
+// A's X.ST fires, B's where B's X.ST fires, and C's — which begins but
+// does not end in the TPDU — where the TPDU's T.ST fires.
+func TestFigure6XIDEncoding(t *testing.T) {
+	const (
+		xA, xB, xC = 0xA1, 0xB2, 0xC3
+		tid        = 7
+		cid        = 0xA
+	)
+	l := DefaultLayout()
+	// 9 elements: A covers T.SN 0-2 (A ends at 2), B covers 3-5 (ends
+	// at 5), C covers 6-8 (continues beyond the TPDU; T.ST at 8).
+	mk := func(tsn, n uint64, xid uint32, xsn uint64, xst, tst bool) chunk.Chunk {
+		p := make([]byte, n*4)
+		for i := range p {
+			p[i] = byte(tsn)*16 + byte(i)
+		}
+		return chunk.Chunk{
+			Type: chunk.TypeData, Size: 4, Len: uint32(n),
+			C:       chunk.Tuple{ID: cid, SN: 100 + tsn},
+			T:       chunk.Tuple{ID: tid, SN: tsn, ST: tst},
+			X:       chunk.Tuple{ID: xid, SN: xsn, ST: xst},
+			Payload: p,
+		}
+	}
+	chs := []chunk.Chunk{
+		mk(0, 3, xA, 50, true, false), // tail of A; X.ST fires at T.SN 2
+		mk(3, 3, xB, 0, true, false),  // all of B; X.ST fires at T.SN 5
+		mk(6, 3, xC, 0, false, true),  // head of C; T.ST fires at T.SN 8
+	}
+	got, err := Encode(l, chs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hand-build the expected parity from wsc primitives.
+	var a wsc.Accumulator
+	for _, c := range chs {
+		if err := a.AddBytes(c.T.SN, c.Payload); err != nil { // SIZE=4: spe=1
+			t.Fatal(err)
+		}
+	}
+	// Trigger pairs: (A,1)@2*2+16387, (B,1)@2*5+16387, (C,0)@2*8+16387.
+	pairs := []struct {
+		tsn uint64
+		xid uint32
+		xst uint32
+	}{{2, xA, 1}, {5, xB, 1}, {8, xC, 0}}
+	for _, p := range pairs {
+		pos := 2*p.tsn + 16387
+		if err := a.AddSymbol(pos, p.xid); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.AddSymbol(pos+1, p.xst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Identity symbols.
+	_ = a.AddSymbol(16384, tid)
+	_ = a.AddSymbol(16385, cid)
+	_ = a.AddSymbol(16386, 0) // C.ST clear
+
+	if got != a.Parity() {
+		t.Fatalf("Encode = %+v, hand-computed = %+v", got, a.Parity())
+	}
+
+	// Each X.ID must appear EXACTLY once in the code space: encoding a
+	// fourth chunk that (wrongly) re-triggers A would change the
+	// parity — guard that the three-pair encoding is what we think.
+	var b wsc.Accumulator
+	_ = b.AddSymbol(2*2+16387, xA)
+	if gf.Add(got.P1, 0) == b.Parity().P1 {
+		t.Fatal("sanity: pair contributions must be position-weighted")
+	}
+}
+
+func TestEncodeRejects(t *testing.T) {
+	l := DefaultLayout()
+	if _, err := Encode(l, nil); err == nil {
+		t.Fatal("empty TPDU must fail")
+	}
+	ed := EDChunk(1, 2, 0, wsc.Parity{})
+	if _, err := Encode(l, []chunk.Chunk{ed}); err == nil {
+		t.Fatal("control chunk must fail")
+	}
+	a := makeTPDU(1, 4, 4, 1)
+	b := makeTPDU(2, 4, 4, 2) // different T.ID
+	if _, err := Encode(l, []chunk.Chunk{a, b}); err == nil {
+		t.Fatal("mixed TPDUs must fail")
+	}
+	dup := []chunk.Chunk{a, a}
+	if _, err := Encode(l, dup); err == nil {
+		t.Fatal("overlapping chunks must fail")
+	}
+	if _, err := Encode(Layout{}, []chunk.Chunk{a}); err == nil {
+		t.Fatal("invalid layout must fail")
+	}
+	// TPDU larger than the data region.
+	big := makeTPDU(1, 20000, 4, 3)
+	if _, err := Encode(l, []chunk.Chunk{big}); err == nil {
+		t.Fatal("oversized TPDU must fail")
+	}
+}
+
+// TestEncodeCSTEncoded: a set C.ST changes the parity via position
+// 16386.
+func TestEncodeCSTEncoded(t *testing.T) {
+	l := DefaultLayout()
+	a := makeTPDU(1, 8, 4, 9)
+	p1, err := Encode(l, []chunk.Chunk{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := a.Clone()
+	b.C.ST = true
+	p2, err := Encode(l, []chunk.Chunk{b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p2 {
+		t.Fatal("C.ST must be covered by the code")
+	}
+	diff := p1.Xor(p2)
+	if diff.P0 != 1 || diff.P1 != gf.AlphaPow(16386) {
+		t.Fatalf("C.ST difference not at position 16386: %+v", diff)
+	}
+}
+
+func TestEDChunkRoundTrip(t *testing.T) {
+	par := wsc.Parity{P0: 0xDEAD, P1: 0xBEEF}
+	ed := EDChunk(0xA, 7, 123, par)
+	if err := ed.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseED(&ed)
+	if err != nil || got != par {
+		t.Fatalf("ParseED = %+v, %v", got, err)
+	}
+	bad := makeTPDU(1, 4, 4, 1)
+	if _, err := ParseED(&bad); err != ErrNotED {
+		t.Fatalf("want ErrNotED, got %v", err)
+	}
+}
+
+// TestEncodeLargeOddElementSize: elements bigger than the stack pad
+// buffer (size > 32, not a multiple of 4) must encode without panic
+// and stay fragmentation-invariant.
+func TestEncodeLargeOddElementSize(t *testing.T) {
+	l := DefaultLayout()
+	orig := makeTPDU(3, 10, 37, 5) // spe = 10 > the 8-symbol stack buffer
+	want, err := Encode(l, []chunk.Chunk{orig})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, err := orig.Split(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Encode(l, []chunk.Chunk{b, a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatal("large odd-size elements broke fragmentation invariance")
+	}
+	// And through the receiver.
+	ed := EDChunk(orig.C.ID, 3, orig.C.SN, want)
+	r := newReceiverForEncode(t)
+	_ = r.Ingest(&a)
+	_ = r.Ingest(&b)
+	_ = r.Ingest(&ed)
+	if r.Verdict(3) != VerdictOK {
+		t.Fatalf("verdict %v", r.Verdict(3))
+	}
+}
+
+func newReceiverForEncode(t *testing.T) *Receiver {
+	t.Helper()
+	r, err := NewReceiver(DefaultLayout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}

@@ -1,0 +1,44 @@
+package errdet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"chunks/internal/chunk"
+)
+
+// TestIngestArbitraryChunks: a receiver fed structurally valid but
+// semantically arbitrary chunks must never panic; every anomaly ends
+// up as a finding or pending state, never silent acceptance of a
+// verified verdict without a matching ED chunk.
+func TestIngestArbitraryChunks(t *testing.T) {
+	r, err := NewReceiver(DefaultLayout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(typ uint8, size uint8, n uint8, cid, tid, xid uint32, csn, tsn, xsn uint32, flags uint8) bool {
+		ct := chunk.Type(1 + typ%5)
+		s := uint16(size)%64 + 1
+		ln := uint32(n)%32 + 1
+		c := chunk.Chunk{
+			Type: ct, Size: s, Len: ln,
+			C:       chunk.Tuple{ID: cid, SN: uint64(csn), ST: flags&1 != 0},
+			T:       chunk.Tuple{ID: tid, SN: uint64(tsn) % 1024, ST: flags&2 != 0},
+			X:       chunk.Tuple{ID: xid, SN: uint64(xsn), ST: flags&4 != 0},
+			Payload: make([]byte, int(s)*int(ln)),
+		}
+		_ = r.Ingest(&c) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Error(err)
+	}
+	// No TPDU may have reached VerdictOK: no valid ED parity was ever
+	// supplied (a random 8-byte ED payload matching the accumulated
+	// parity is a 2^-64 event).
+	for tid, v := range r.Finalize() {
+		if v == VerdictOK {
+			t.Fatalf("TPDU %d verified without a consistent ED chunk", tid)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Package errdet implements the paper's end-to-end error detection
+// system (Section 4): a WSC-2 parity computed over an invariant of the
+// TPDU under chunk fragmentation.
+//
+// Chunk headers are legitimately rewritten by routers (SNs advance, ST
+// bits move, LEN shrinks), so the error detection code cannot simply
+// cover the bytes on the wire. Instead both ends encode, into one
+// WSC-2 code block, exactly the information that fragmentation
+// preserves (Figure 5):
+//
+//   - the TPDU's data symbols at positions 0 .. DataSymbols-1, indexed
+//     by T.SN;
+//   - T.ID at position DataSymbols, C.ID at DataSymbols+1;
+//   - the C.ST value at DataSymbols+2 (a set C.ST can occur at most
+//     once per TPDU, on a TPDU boundary);
+//   - one (X.ID, X.ST-value) pair per external PDU, at positions
+//     DataSymbols+3+2·T.SN, where T.SN is that of the data element
+//     whose X.ST or T.ST bit is set (Figure 6's trigger rule: the X.ST
+//     bit fires once per external PDU, and the T.ST bit covers the
+//     external PDU that begins but does not end inside the TPDU).
+//
+// Fields that fragmentation rewrites are protected differently:
+// C.SN and X.SN by consistency checks ((C.SN − T.SN) constant across a
+// TPDU's chunks; (C.SN − X.SN) constant across an external PDU's
+// chunks), and T.SN, T.ST, TYPE, LEN, SIZE by virtual reassembly
+// failing or completing incorrectly (Table 1).
+package errdet
+
+import (
+	"errors"
+
+	"chunks/internal/wsc"
+)
+
+// DefaultDataSymbols is the paper's TPDU data budget: 16,384 32-bit
+// symbols (64 KiB of TPDU payload).
+const DefaultDataSymbols = 16384
+
+// Layout fixes where each invariant component lives in the WSC-2 code
+// space. Transmitter and receiver must agree on it (it is part of the
+// protocol specification, like the paper's constants).
+type Layout struct {
+	// DataSymbols is the number of code-space positions reserved for
+	// TPDU data. Positions DataSymbols.. hold metadata.
+	DataSymbols uint64
+}
+
+// DefaultLayout returns the paper's Figure 5 layout.
+func DefaultLayout() Layout { return Layout{DataSymbols: DefaultDataSymbols} }
+
+// ErrLayout reports an element that does not fit the layout's code
+// space (TPDU larger than the data budget, or pair positions beyond
+// the WSC-2 maximum).
+var ErrLayout = errors.New("errdet: element outside code-space layout")
+
+// TIDPos returns the position encoding T.ID.
+func (l Layout) TIDPos() uint64 { return l.DataSymbols }
+
+// CIDPos returns the position encoding C.ID.
+func (l Layout) CIDPos() uint64 { return l.DataSymbols + 1 }
+
+// CSTPos returns the position encoding the C.ST value.
+func (l Layout) CSTPos() uint64 { return l.DataSymbols + 2 }
+
+// XPairPos returns the position of the (X.ID, X.ST) pair triggered by
+// the data element with the given T.SN; the pair occupies XPairPos and
+// XPairPos+1.
+func (l Layout) XPairPos(tsn uint64) uint64 { return l.DataSymbols + 3 + 2*tsn }
+
+// SymbolsPerElement returns how many 32-bit symbols one data element
+// of the given SIZE occupies (the last symbol zero-padded).
+func SymbolsPerElement(size uint16) uint64 { return (uint64(size) + 3) / 4 }
+
+// MaxElements returns the largest element count a TPDU may have under
+// this layout for the given element SIZE: both the data region and the
+// trigger-pair region must fit.
+func (l Layout) MaxElements(size uint16) uint64 {
+	spe := SymbolsPerElement(size)
+	byData := l.DataSymbols / spe
+	// Highest pair position must stay within the code space.
+	byPairs := (wsc.MaxPosition - 1 - (l.DataSymbols + 3)) / 2
+	if byPairs+1 < byData {
+		return byPairs + 1
+	}
+	return byData
+}
+
+// Validate reports whether the layout itself fits the code space.
+func (l Layout) Validate() error {
+	if l.DataSymbols == 0 || l.DataSymbols+3 >= wsc.MaxPosition {
+		return ErrLayout
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package errdet
+
+import (
+	"testing"
+
+	"chunks/internal/wsc"
+)
+
+// TestFigure5InvariantLayout (experiment F5) pins the default layout
+// to the paper's exact positions: data symbols 0..16383, T.ID at
+// 16384, C.ID at 16385, C.ST at 16386, and (X.ID, X.ST) pairs at
+// 2*T.SN + 16387.
+func TestFigure5InvariantLayout(t *testing.T) {
+	l := DefaultLayout()
+	if l.DataSymbols != 16384 {
+		t.Fatalf("DataSymbols = %d", l.DataSymbols)
+	}
+	if l.TIDPos() != 16384 {
+		t.Fatalf("TIDPos = %d", l.TIDPos())
+	}
+	if l.CIDPos() != 16385 {
+		t.Fatalf("CIDPos = %d", l.CIDPos())
+	}
+	if l.CSTPos() != 16386 {
+		t.Fatalf("CSTPos = %d", l.CSTPos())
+	}
+	for _, tsn := range []uint64{0, 1, 7, 16383} {
+		if got, want := l.XPairPos(tsn), 2*tsn+16387; got != want {
+			t.Fatalf("XPairPos(%d) = %d, want %d", tsn, got, want)
+		}
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLayoutValidate(t *testing.T) {
+	if (Layout{}).Validate() == nil {
+		t.Fatal("zero layout must be invalid")
+	}
+	if (Layout{DataSymbols: wsc.MaxPosition}).Validate() == nil {
+		t.Fatal("layout overflowing code space must be invalid")
+	}
+}
+
+func TestSymbolsPerElement(t *testing.T) {
+	for size, want := range map[uint16]uint64{1: 1, 3: 1, 4: 1, 5: 2, 8: 2, 9: 3, 64: 16} {
+		if got := SymbolsPerElement(size); got != want {
+			t.Errorf("SymbolsPerElement(%d) = %d, want %d", size, got, want)
+		}
+	}
+}
+
+func TestMaxElements(t *testing.T) {
+	l := DefaultLayout()
+	// SIZE=4: one symbol per element, bounded by the data region.
+	if got := l.MaxElements(4); got != 16384 {
+		t.Fatalf("MaxElements(4) = %d", got)
+	}
+	// SIZE=64: sixteen symbols per element.
+	if got := l.MaxElements(64); got != 1024 {
+		t.Fatalf("MaxElements(64) = %d", got)
+	}
+	// The paper's own bound: "we assume that the TPDU data is limited
+	// to 16,384 32-bit symbols". Pair positions for those elements
+	// must fit the 2^29-2 code space with room to spare.
+	if l.XPairPos(l.MaxElements(4)-1)+1 > wsc.MaxPosition {
+		t.Fatal("pair positions overflow the code space")
+	}
+	// A huge layout must be clipped by the pair region instead.
+	big := Layout{DataSymbols: wsc.MaxPosition - 4}
+	if got := big.MaxElements(4); got >= big.DataSymbols {
+		t.Fatalf("pair clipping failed: %d", got)
+	}
+}

@@ -1,0 +1,353 @@
+package errdet
+
+import (
+	"fmt"
+
+	"chunks/internal/chunk"
+	"chunks/internal/vr"
+	"chunks/internal/wsc"
+)
+
+// A Finding is one detected anomaly, classified by the Table 1
+// mechanism that caught it.
+type Finding struct {
+	Class Verdict
+	TID   uint32 // TPDU involved, when known
+	Err   error
+}
+
+func (f Finding) String() string { return fmt.Sprintf("%v (TPDU %d): %v", f.Class, f.TID, f.Err) }
+
+// tpduState is the receive-side verification state of one TPDU.
+type tpduState struct {
+	blk       blockAccumulator
+	t         vr.PDU
+	size      uint16
+	cid       uint32
+	haveMeta  bool
+	delta     uint64 // C.SN - T.SN, constant across the TPDU's chunks
+	cst       bool   // C.ST observed on the TPDU boundary element
+	want      wsc.Parity
+	haveWant  bool
+	finalized bool
+	verdict   Verdict
+}
+
+// xState is the connection-scope verification state of one external
+// PDU (external PDUs may span TPDUs, so they live beside, not inside,
+// tpduState).
+type xState struct {
+	pdu       vr.PDU
+	delta     uint64 // C.SN - X.SN, constant across the external PDU's chunks
+	haveDelta bool
+}
+
+// A Receiver performs incremental end-to-end verification for one
+// connection: chunks are ingested in ANY order, exactly as they fall
+// out of arriving packets, with no reordering or physical reassembly.
+// Each TPDU's parity is accumulated as fresh data arrives; when the
+// TPDU's virtual reassembly completes and its ED chunk is in hand, the
+// parities are compared.
+type Receiver struct {
+	layout   Layout
+	tpdus    map[uint32]*tpduState
+	xs       map[uint32]*xState
+	findings []Finding
+}
+
+// NewReceiver returns a Receiver using the given invariant layout.
+func NewReceiver(layout Layout) (*Receiver, error) {
+	if err := layout.Validate(); err != nil {
+		return nil, err
+	}
+	return &Receiver{
+		layout: layout,
+		tpdus:  make(map[uint32]*tpduState),
+		xs:     make(map[uint32]*xState),
+	}, nil
+}
+
+func (r *Receiver) tpdu(tid uint32) *tpduState {
+	t := r.tpdus[tid]
+	if t == nil {
+		t = &tpduState{blk: blockAccumulator{layout: r.layout}}
+		r.tpdus[tid] = t
+	}
+	return t
+}
+
+func (r *Receiver) flag(class Verdict, tid uint32, format string, args ...any) {
+	r.findings = append(r.findings, Finding{Class: class, TID: tid, Err: fmt.Errorf(format, args...)})
+}
+
+// Ingest processes one received chunk. Data and ED chunks are
+// verified; other control types are ignored (they belong to the
+// transport, not to error detection). Ingest never fails on corrupted
+// content — corruption becomes findings and verdicts; the returned
+// error only reports chunks this receiver cannot interpret at all.
+func (r *Receiver) Ingest(c *chunk.Chunk) error {
+	_, err := r.IngestFresh(c)
+	return err
+}
+
+// IngestFresh is Ingest, additionally returning the chunk's FRESH
+// element intervals (T.SN space) for data chunks: the sub-ranges not
+// previously received and accepted by the checks. Placement must use
+// exactly these ranges — the paper's duplicate-rejection rule exists
+// "to prevent a corrupted duplicate from overwriting uncorrupted data
+// that has already been received" (Section 3.3), and a placer that
+// blindly overwrites could diverge from the verified parity.
+func (r *Receiver) IngestFresh(c *chunk.Chunk) ([]vr.Interval, error) {
+	switch c.Type {
+	case chunk.TypeData:
+		return r.ingestData(c), nil
+	case chunk.TypeED:
+		r.ingestED(c)
+		return nil, nil
+	case chunk.TypeSignal, chunk.TypeAck, chunk.TypeNack:
+		return nil, nil
+	default:
+		return nil, chunk.ErrBadType
+	}
+}
+
+func (r *Receiver) ingestData(c *chunk.Chunk) []vr.Interval {
+	t := r.tpdu(c.T.ID)
+	if t.finalized {
+		if t.verdict != VerdictEDMismatch {
+			return nil // late duplicate of a verified TPDU
+		}
+		// A TPDU that failed the parity compare gets a fresh chance
+		// when data is retransmitted: rebuild its verification state
+		// from scratch (the retransmission reuses the original
+		// identifiers, Section 3.3, so the rebuild is transparent).
+		*t = tpduState{blk: blockAccumulator{layout: r.layout}}
+	}
+
+	// Per-TPDU consistency: SIZE, C.ID and (C.SN - T.SN) must agree
+	// across every chunk of the TPDU (Section 4: "If the C.SN is
+	// uncorrupted, the value of (C.SN - T.SN) is constant for all
+	// chunks of a TPDU").
+	delta := c.C.SN - c.T.SN
+	if !t.haveMeta {
+		t.size, t.cid, t.delta, t.haveMeta = c.Size, c.C.ID, delta, true
+	} else {
+		if c.Size != t.size {
+			r.flag(VerdictReassembly, c.T.ID, "SIZE %d conflicts with %d", c.Size, t.size)
+			return nil
+		}
+		if c.C.ID != t.cid {
+			r.flag(VerdictConsistency, c.T.ID, "C.ID %d conflicts with %d", c.C.ID, t.cid)
+			return nil
+		}
+		if delta != t.delta {
+			r.flag(VerdictConsistency, c.T.ID, "C.SN-T.SN %d conflicts with %d", delta, t.delta)
+			return nil
+		}
+	}
+
+	// External-PDU consistency: (C.SN - X.SN) constant per X.ID.
+	x := r.xs[c.X.ID]
+	xdelta := c.C.SN - c.X.SN
+	if x == nil {
+		x = &xState{delta: xdelta, haveDelta: true}
+		r.xs[c.X.ID] = x
+	} else if x.haveDelta && x.delta != xdelta {
+		r.flag(VerdictConsistency, c.T.ID, "C.SN-X.SN %d conflicts with %d for X.ID %d", xdelta, x.delta, c.X.ID)
+		return nil
+	}
+
+	// Transport-level virtual reassembly with duplicate rejection.
+	n := uint64(c.Len)
+	fresh, err := t.t.Add(c.T.SN, n, c.T.ST)
+	if err != nil {
+		r.flag(VerdictReassembly, c.T.ID, "T-level reassembly: %v", err)
+		return nil
+	}
+
+	// External-level virtual reassembly (ALF frame completion).
+	if _, err := x.pdu.Add(c.X.SN, n, c.X.ST); err != nil {
+		r.flag(VerdictReassembly, c.T.ID, "X-level reassembly (X.ID %d): %v", c.X.ID, err)
+	}
+
+	// Accumulate only the fresh data into the parity — processing the
+	// same piece twice "may cause the checksum to be incorrect even if
+	// no data corruption has occurred" (Section 3.3).
+	for _, iv := range fresh {
+		if err := t.blk.addData(c, iv.Lo, iv.Hi); err != nil {
+			r.flag(VerdictReassembly, c.T.ID, "data outside layout: %v", err)
+			return nil
+		}
+	}
+
+	// Trigger encoding: only if the trigger element (the chunk's last)
+	// was fresh, so retransmissions do not cancel the pair.
+	lastSN := c.T.SN + n - 1
+	if freshContains(fresh, lastSN) {
+		if err := t.blk.addTrigger(c); err != nil {
+			r.flag(VerdictReassembly, c.T.ID, "trigger outside layout: %v", err)
+			return nil
+		}
+		if c.C.ST {
+			t.cst = true
+		}
+	}
+
+	r.maybeFinalize(c.T.ID, t)
+	return fresh
+}
+
+func (r *Receiver) ingestED(c *chunk.Chunk) {
+	par, err := ParseED(c)
+	if err != nil {
+		r.flag(VerdictReassembly, c.T.ID, "malformed ED chunk: %v", err)
+		return
+	}
+	t := r.tpdu(c.T.ID)
+	if t.finalized {
+		if t.verdict != VerdictEDMismatch {
+			return
+		}
+		*t = tpduState{blk: blockAccumulator{layout: r.layout}}
+	}
+	if t.haveMeta && c.C.ID != t.cid {
+		r.flag(VerdictConsistency, c.T.ID, "ED chunk C.ID %d conflicts with %d", c.C.ID, t.cid)
+		return
+	}
+	if t.haveWant {
+		if t.want != par {
+			r.flag(VerdictConsistency, c.T.ID, "duplicate ED chunks disagree")
+		}
+		return
+	}
+	t.want, t.haveWant = par, true
+	r.maybeFinalize(c.T.ID, t)
+}
+
+func (r *Receiver) maybeFinalize(tid uint32, t *tpduState) {
+	if t.finalized || !t.haveWant || !t.t.Complete() {
+		return
+	}
+	t.finalized = true
+	if err := t.blk.addIdentity(tid, t.cid, t.cst); err != nil {
+		t.verdict = VerdictReassembly
+		r.flag(VerdictReassembly, tid, "identity outside layout: %v", err)
+		return
+	}
+	if wsc.Verify(t.blk.parity(), t.want) {
+		t.verdict = VerdictOK
+		return
+	}
+	t.verdict = VerdictEDMismatch
+	r.flag(VerdictEDMismatch, tid, "WSC-2 parity mismatch: got %+v want %+v", t.blk.parity(), t.want)
+}
+
+func freshContains(ivs []vr.Interval, sn uint64) bool {
+	for _, iv := range ivs {
+		if sn >= iv.Lo && sn < iv.Hi {
+			return true
+		}
+	}
+	return false
+}
+
+// ResetTPDU discards all verification state of one TPDU so that a
+// retransmission can rebuild it from scratch. Detection state (the
+// findings log) is retained. This is the recovery escape hatch for a
+// TPDU whose state was poisoned by corruption on its FIRST-arriving
+// chunk (which seeds the consistency baselines) or rebuilt from a
+// corrupted duplicate: the receiver requests a full retransmission
+// and starts the TPDU over.
+func (r *Receiver) ResetTPDU(tid uint32) {
+	delete(r.tpdus, tid)
+}
+
+// Verdict returns the current verdict for a TPDU.
+func (r *Receiver) Verdict(tid uint32) Verdict {
+	t := r.tpdus[tid]
+	if t == nil || !t.finalized {
+		return VerdictPending
+	}
+	return t.verdict
+}
+
+// Findings returns every anomaly detected so far, in detection order.
+func (r *Receiver) Findings() []Finding {
+	return append([]Finding(nil), r.findings...)
+}
+
+// TPDUFindings returns the findings attributed to one TPDU.
+func (r *Receiver) TPDUFindings(tid uint32) []Finding {
+	var out []Finding
+	for _, f := range r.findings {
+		if f.TID == tid {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// XComplete reports whether external PDU xid has fully arrived — the
+// ALF-frame-ready signal an application consumes.
+func (r *Receiver) XComplete(xid uint32) bool {
+	x := r.xs[xid]
+	return x != nil && x.pdu.Complete()
+}
+
+// TPDUStatus reports the virtual-reassembly state of a TPDU for
+// retransmission decisions: whether its end (T.ST) has been seen, and
+// one past the highest element received.
+func (r *Receiver) TPDUStatus(tid uint32) (haveEnd bool, high uint64) {
+	t := r.tpdus[tid]
+	if t == nil {
+		return false, 0
+	}
+	_, haveEnd = t.t.End()
+	return haveEnd, t.t.High()
+}
+
+// Missing returns the T.SN gaps of an unfinished TPDU (NACK input).
+func (r *Receiver) Missing(tid uint32) []vr.Interval {
+	t := r.tpdus[tid]
+	if t == nil {
+		return nil
+	}
+	return t.t.Missing()
+}
+
+// Finalize ends the receive phase (end of input or retransmission
+// timeout): every TPDU still pending is flagged as a reassembly
+// failure, per the paper's model where reassembly "never completes".
+// It returns the final verdict per TPDU.
+func (r *Receiver) Finalize() map[uint32]Verdict {
+	out := make(map[uint32]Verdict, len(r.tpdus))
+	for tid, t := range r.tpdus {
+		if !t.finalized {
+			t.finalized = true
+			t.verdict = VerdictReassembly
+			switch {
+			case !t.t.Complete():
+				r.flag(VerdictReassembly, tid, "input ended with TPDU incomplete; missing %v", t.t.Missing())
+			default:
+				r.flag(VerdictReassembly, tid, "input ended without ED chunk")
+			}
+		}
+		out[tid] = t.verdict
+	}
+	// External PDUs with gaps (or a known end not reached) are
+	// reassembly failures too: the ALF frame never becomes ready.
+	for xid, x := range r.xs {
+		if end, ok := x.pdu.End(); ok && !x.pdu.Complete() {
+			r.findings = append(r.findings, Finding{
+				Class: VerdictReassembly,
+				Err:   fmt.Errorf("external PDU %d incomplete: %d of %d elements", xid, x.pdu.Received(), end),
+			})
+		} else if !ok && len(x.pdu.Missing()) > 0 {
+			r.findings = append(r.findings, Finding{
+				Class: VerdictReassembly,
+				Err:   fmt.Errorf("external PDU %d has internal gaps %v", xid, x.pdu.Missing()),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package errdet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"chunks/internal/chunk"
+)
+
+// runCorrupted fragments a TPDU, applies corrupt to the fragment
+// payloads (and the mirrored placed stream), and ingests everything.
+// It returns the receiver, the corrupted stream, the clean stream,
+// and the TPDU id.
+func runCorrupted(t *testing.T, seed int64, corrupt func(stream []byte)) (*Receiver, []byte, []byte, uint32) {
+	t.Helper()
+	const tid = 9
+	orig := makeTPDU(tid, 64, 4, seed)
+	clean := append([]byte(nil), orig.Payload...)
+	l := DefaultLayout()
+	par, err := Encode(l, []chunk.Chunk{orig})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ed := EDChunk(orig.C.ID, tid, orig.C.SN, par)
+
+	// Corrupt the payload (the fragments alias it, as on the wire).
+	corrupt(orig.Payload)
+	frags, err := orig.SplitToFit(chunk.HeaderSize + 8*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newReceiver(t)
+	for i := range frags {
+		_ = r.Ingest(&frags[i])
+	}
+	_ = r.Ingest(&ed)
+	return r, orig.Payload, clean, tid
+}
+
+func TestRepairSingleSymbol(t *testing.T) {
+	const badElem = 37
+	var mask uint32 = 0x00A50001
+	r, stream, clean, tid := runCorrupted(t, 1, func(s []byte) {
+		v := binary.BigEndian.Uint32(s[badElem*4:])
+		binary.BigEndian.PutUint32(s[badElem*4:], v^mask)
+	})
+	if r.Verdict(tid) != VerdictEDMismatch {
+		t.Fatalf("verdict = %v", r.Verdict(tid))
+	}
+	cor, ok := r.Repair(tid)
+	if !ok {
+		t.Fatal("single-symbol error must be repairable")
+	}
+	if cor.TSN != badElem || cor.XOR != mask || cor.Offset != 0 {
+		t.Fatalf("correction = %+v", cor)
+	}
+	if r.Verdict(tid) != VerdictOK {
+		t.Fatalf("post-repair verdict = %v", r.Verdict(tid))
+	}
+	// Apply to the placed stream; makeTPDU uses C.SN 5000, so give
+	// Apply a buffer window covering it.
+	buf := make([]byte, (5000+64)*4)
+	copy(buf[5000*4:], stream)
+	cor.Apply(buf, 4)
+	if !bytes.Equal(buf[5000*4:], clean) {
+		t.Fatal("Apply did not restore the stream")
+	}
+}
+
+func TestRepairRefusesMultiSymbol(t *testing.T) {
+	r, _, _, tid := runCorrupted(t, 2, func(s []byte) {
+		s[0] ^= 0xFF
+		s[40] ^= 0x55 // second symbol
+	})
+	if r.Verdict(tid) != VerdictEDMismatch {
+		t.Fatalf("verdict = %v", r.Verdict(tid))
+	}
+	if _, ok := r.Repair(tid); ok {
+		t.Fatal("two-symbol corruption must not be 'repaired'")
+	}
+	if r.Verdict(tid) != VerdictEDMismatch {
+		t.Fatal("failed repair must leave the mismatch verdict intact")
+	}
+}
+
+func TestRepairRefusesWrongStates(t *testing.T) {
+	r := newReceiver(t)
+	if _, ok := r.Repair(5); ok {
+		t.Fatal("unknown TPDU")
+	}
+	// Healthy TPDU: nothing to repair.
+	frags, ed := buildTPDU(t, 3, 24, 6)
+	ingestAll(t, r, frags)
+	_ = r.Ingest(&ed)
+	if _, ok := r.Repair(3); ok {
+		t.Fatal("OK TPDU must not repair")
+	}
+}
+
+// TestRepairRandomized: any single bit flip anywhere in the data is
+// repairable; the repaired stream always matches the ground truth.
+func TestRepairRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 25; trial++ {
+		pos := rng.Intn(64 * 4)
+		bit := byte(1 << rng.Intn(8))
+		r, stream, clean, tid := runCorrupted(t, int64(trial+10), func(s []byte) {
+			s[pos] ^= bit
+		})
+		cor, ok := r.Repair(tid)
+		if !ok {
+			t.Fatalf("trial %d: flip at byte %d not repaired", trial, pos)
+		}
+		buf := make([]byte, (5000+64)*4)
+		copy(buf[5000*4:], stream)
+		cor.Apply(buf, 4)
+		if !bytes.Equal(buf[5000*4:], clean) {
+			t.Fatalf("trial %d: stream not restored", trial)
+		}
+	}
+}
+
+// TestRepairOddElementSize: SIZE=5 elements pad to two symbols; a
+// flip within the real bytes is still locatable and Apply clips to
+// the element.
+func TestRepairOddElementSize(t *testing.T) {
+	const tid = 4
+	orig := makeTPDU(tid, 20, 5, 3) // SIZE 5 -> spe 2
+	clean := append([]byte(nil), orig.Payload...)
+	l := DefaultLayout()
+	par, err := Encode(l, []chunk.Chunk{orig})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ed := EDChunk(orig.C.ID, tid, orig.C.SN, par)
+	// Corrupt byte 4 of element 7: second symbol of the element,
+	// first (and only real) byte.
+	orig.Payload[7*5+4] ^= 0x3C
+	r := newReceiver(t)
+	o := orig
+	_ = r.Ingest(&o)
+	_ = r.Ingest(&ed)
+	cor, ok := r.Repair(tid)
+	if !ok {
+		t.Fatal("odd-size single-symbol error must repair")
+	}
+	if cor.TSN != 7 || cor.Offset != 4 {
+		t.Fatalf("correction = %+v", cor)
+	}
+	buf := make([]byte, (5000+20)*5)
+	copy(buf[5000*5:], orig.Payload)
+	cor.Apply(buf, 5)
+	if !bytes.Equal(buf[5000*5:], clean) {
+		t.Fatal("odd-size Apply failed")
+	}
+}
+
+func TestApplyClipsBuffer(t *testing.T) {
+	cor := Correction{CSN: 10, Offset: 0, XOR: 0xFFFFFFFF}
+	short := make([]byte, 42) // element 10 (size 4) starts at byte 40; only 2 bytes present
+	cor.Apply(short, 4)
+	if short[40] != 0xFF || short[41] != 0xFF {
+		t.Fatal("in-buffer bytes must be corrected")
+	}
+}
+
+func BenchmarkRepair(b *testing.B) {
+	const tid = 9
+	orig := makeTPDU(tid, 64, 4, 1)
+	l := DefaultLayout()
+	par, _ := Encode(l, []chunk.Chunk{orig})
+	ed := EDChunk(orig.C.ID, tid, orig.C.SN, par)
+	orig.Payload[100] ^= 0x5A
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, _ := NewReceiver(l)
+		o := orig
+		_ = r.Ingest(&o)
+		_ = r.Ingest(&ed)
+		if _, ok := r.Repair(tid); !ok {
+			b.Fatal("repair failed")
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package errdet
+
+// Verdict is the state of one TPDU's end-to-end verification.
+type Verdict int
+
+const (
+	// VerdictPending: virtual reassembly or the ED chunk is still
+	// outstanding.
+	VerdictPending Verdict = iota
+	// VerdictOK: the TPDU completed and the accumulated parity
+	// matched the transmitted parity.
+	VerdictOK
+	// VerdictEDMismatch: the TPDU completed but the parities differ —
+	// Table 1's "Error Detection Code" detection.
+	VerdictEDMismatch
+	// VerdictConsistency: a header consistency check failed — Table
+	// 1's "Consistency Check" detection ((C.SN − T.SN) or
+	// (C.SN − X.SN) not constant, or chunks of one TPDU disagreeing
+	// on identity fields).
+	VerdictConsistency
+	// VerdictReassembly: virtual reassembly failed (conflicting or
+	// exceeded PDU end, or the input ended before the TPDU
+	// completed) — Table 1's "Reassembly Error" detection.
+	VerdictReassembly
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictPending:
+		return "pending"
+	case VerdictOK:
+		return "ok"
+	case VerdictEDMismatch:
+		return "error-detection-code"
+	case VerdictConsistency:
+		return "consistency-check"
+	case VerdictReassembly:
+		return "reassembly-error"
+	}
+	return "unknown"
+}
+
+// Detected reports whether the verdict represents a detected error.
+func (v Verdict) Detected() bool {
+	return v == VerdictEDMismatch || v == VerdictConsistency || v == VerdictReassembly
+}

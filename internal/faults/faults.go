@@ -1,0 +1,381 @@
+// Package faults is the fault-injection harness behind Table 1
+// (experiment T1): it corrupts each chunk header field on the wire,
+// runs the end-to-end error detection receiver, and reports WHICH
+// mechanism detected the corruption — error detection code,
+// consistency check, or reassembly error — alongside the paper's
+// attribution.
+//
+// Two corruption modes are exercised:
+//
+//   - PerFragment: one fragment's field is corrupted in flight, the
+//     common transmission-error case. Identity fields corrupted this
+//     way make the fragment disagree with its siblings, so the
+//     receiver's agreement checks or virtual reassembly catch them
+//     before the code comparison can.
+//   - WholeLabel: the field is corrupted consistently in every chunk
+//     of the PDU (a systematic label error, e.g. corruption before
+//     fragmentation). Agreement checks cannot see it; this is the
+//     case the paper's "Error Detection Code" rows describe, caught
+//     because the field is encoded in the TPDU invariant.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+
+	"chunks/internal/chunk"
+	"chunks/internal/errdet"
+	"chunks/internal/packet"
+)
+
+// Mode selects how the corruption is applied.
+type Mode int
+
+const (
+	// PerFragment corrupts the field in a single in-flight fragment.
+	PerFragment Mode = iota
+	// WholeLabel corrupts the field consistently in every chunk of
+	// the affected PDU (including the ED chunk where it carries the
+	// field).
+	WholeLabel
+)
+
+func (m Mode) String() string {
+	if m == PerFragment {
+		return "per-fragment"
+	}
+	return "whole-label"
+}
+
+// A Case is one Table 1 row: a field, how to corrupt it, and the
+// paper's attribution.
+type Case struct {
+	Field string
+	Mode  Mode
+	// Paper is the detection mechanism Table 1 attributes to this
+	// field ("how detected?").
+	Paper errdet.Verdict
+	// Target selects which fragment to corrupt in PerFragment mode.
+	Target TargetKind
+	// Wire mutates the encoded chunk bytes (PerFragment mode).
+	Wire func(b []byte)
+	// Label mutates a decoded chunk (WholeLabel mode); applied to
+	// every chunk for which it returns true.
+	Label func(c *chunk.Chunk) bool
+}
+
+// TargetKind names which fragment a PerFragment corruption hits.
+type TargetKind int
+
+const (
+	// MiddleFragment is a fragment with no ST bits set.
+	MiddleFragment TargetKind = iota
+	// TriggerFragment carries the X.ST bit (ends external PDU 1).
+	TriggerFragment
+	// FinalFragment carries the TPDU's T.ST bit.
+	FinalFragment
+	// EDFragment is the error detection control chunk itself.
+	EDFragment
+)
+
+// An Outcome is one executed row: the mechanism that actually fired.
+type Outcome struct {
+	Case
+	Got      errdet.Verdict
+	Detected bool
+	Dropped  bool // wire corruption made the packet unparseable
+	Match    bool // Got == Paper
+}
+
+func (o Outcome) String() string {
+	return fmt.Sprintf("%-8s %-12s paper=%-22v got=%-22v detected=%v",
+		o.Field, o.Mode, o.Paper, o.Got, o.Detected)
+}
+
+// Wire-format field offsets (see chunk/wire.go).
+const (
+	offType  = 0
+	offFlags = 1
+	offSize  = 2
+	offLen   = 4
+	offCID   = 8
+	offCSN   = 12
+	offTID   = 20
+	offTSN   = 24
+	offXID   = 32
+	offXSN   = 36
+	offData  = chunk.HeaderSize
+)
+
+// Cases returns the full Table 1 matrix: every chunk field, in the
+// mode(s) that exercise it.
+func Cases() []Case {
+	return []Case{
+		// Fields whose corruption breaks parsing or demultiplexing:
+		// detected as reassembly errors (paper agrees for all four).
+		{Field: "TYPE", Mode: PerFragment, Paper: errdet.VerdictReassembly, Target: MiddleFragment,
+			Wire: func(b []byte) { b[offType] = byte(chunk.TypeAck) }},
+		{Field: "SIZE", Mode: PerFragment, Paper: errdet.VerdictReassembly, Target: MiddleFragment,
+			Wire: func(b []byte) { b[offSize+1] ^= 0x01 }},
+		{Field: "LEN", Mode: PerFragment, Paper: errdet.VerdictReassembly, Target: MiddleFragment,
+			Wire: func(b []byte) { b[offLen+3] ^= 0x01 }},
+		{Field: "T.SN", Mode: PerFragment, Paper: errdet.VerdictReassembly, Target: MiddleFragment,
+			Wire: func(b []byte) { b[offTSN+7] ^= 0x03 }},
+		{Field: "T.ST", Mode: PerFragment, Paper: errdet.VerdictReassembly, Target: FinalFragment,
+			Wire: func(b []byte) { b[offFlags] ^= 0x02 }}, // 1 -> 0: end never learned
+		{Field: "T.ST+", Mode: PerFragment, Paper: errdet.VerdictReassembly, Target: MiddleFragment,
+			Wire: func(b []byte) { b[offFlags] ^= 0x02 }}, // 0 -> 1: conflicting end
+
+		// SN fields changed by fragmentation: consistency checks
+		// (paper agrees).
+		{Field: "C.SN", Mode: PerFragment, Paper: errdet.VerdictConsistency, Target: MiddleFragment,
+			Wire: func(b []byte) { b[offCSN+7] ^= 0xFF }},
+		{Field: "X.SN", Mode: PerFragment, Paper: errdet.VerdictConsistency, Target: MiddleFragment,
+			Wire: func(b []byte) { b[offXSN+7] ^= 0xFF }},
+
+		// ST bits covered by the invariant: error detection code
+		// (paper agrees).
+		{Field: "C.ST", Mode: PerFragment, Paper: errdet.VerdictEDMismatch, Target: MiddleFragment,
+			Wire: func(b []byte) { b[offFlags] ^= 0x01 }},
+		{Field: "X.ST", Mode: PerFragment, Paper: errdet.VerdictEDMismatch, Target: MiddleFragment,
+			Wire: func(b []byte) { b[offFlags] ^= 0x04 }}, // spurious pair
+		{Field: "X.ST-", Mode: PerFragment, Paper: errdet.VerdictEDMismatch, Target: TriggerFragment,
+			Wire: func(b []byte) { b[offFlags] ^= 0x04 }}, // missing pair
+
+		// Payloads: error detection code (paper agrees).
+		{Field: "Data", Mode: PerFragment, Paper: errdet.VerdictEDMismatch, Target: MiddleFragment,
+			Wire: func(b []byte) { b[offData] ^= 0xFF }},
+		{Field: "EDcode", Mode: PerFragment, Paper: errdet.VerdictEDMismatch, Target: EDFragment,
+			Wire: func(b []byte) { b[offData] ^= 0xFF }},
+
+		// Identity fields, per-fragment: in this implementation the
+		// receiver's agreement checks / demultiplexing catch the
+		// disagreeing fragment before the code comparison; the paper
+		// attributes these to the ED code assuming the label error is
+		// systematic — exercised by the WholeLabel rows below.
+		{Field: "C.ID", Mode: PerFragment, Paper: errdet.VerdictEDMismatch, Target: MiddleFragment,
+			Wire: func(b []byte) { b[offCID+3] ^= 0xFF }},
+		{Field: "T.ID", Mode: PerFragment, Paper: errdet.VerdictEDMismatch, Target: MiddleFragment,
+			Wire: func(b []byte) { b[offTID+3] ^= 0xFF }},
+		{Field: "X.ID", Mode: PerFragment, Paper: errdet.VerdictEDMismatch, Target: MiddleFragment,
+			Wire: func(b []byte) { b[offXID+3] ^= 0xFF }},
+
+		// Identity fields, whole-label: the ED code is the detector
+		// (paper's scenario, reproduced exactly).
+		{Field: "C.ID", Mode: WholeLabel, Paper: errdet.VerdictEDMismatch,
+			Label: func(c *chunk.Chunk) bool { c.C.ID ^= 0xFF; return true }},
+		{Field: "T.ID", Mode: WholeLabel, Paper: errdet.VerdictEDMismatch,
+			Label: func(c *chunk.Chunk) bool { c.T.ID ^= 0xFF; return true }},
+		{Field: "X.ID", Mode: WholeLabel, Paper: errdet.VerdictEDMismatch,
+			Label: func(c *chunk.Chunk) bool {
+				if c.Type == chunk.TypeData && c.X.ID == xid1 {
+					c.X.ID ^= 0xFF
+					return true
+				}
+				return false
+			}},
+	}
+}
+
+// Scenario constants: one TPDU of 64 4-byte elements, external PDU 1
+// covering elements 0..39 (ends inside the TPDU), external PDU 2
+// covering 40..63 (continues past it).
+const (
+	cid  = 0xAA
+	tid  = 0x51
+	xid1 = 0xE1
+	xid2 = 0xE2
+
+	tpduElems = 64
+	x1Elems   = 40
+	elemSize  = 4
+	perFrag   = 8 // elements per fragment
+)
+
+// scenario builds the TPDU fragments and ED chunk.
+func scenario(seed int64) (frags []chunk.Chunk, ed chunk.Chunk, err error) {
+	rng := rand.New(rand.NewSource(seed))
+	p1 := make([]byte, x1Elems*elemSize)
+	p2 := make([]byte, (tpduElems-x1Elems)*elemSize)
+	rng.Read(p1)
+	rng.Read(p2)
+	c1 := chunk.Chunk{
+		Type: chunk.TypeData, Size: elemSize, Len: x1Elems,
+		C:       chunk.Tuple{ID: cid, SN: 9000},
+		T:       chunk.Tuple{ID: tid, SN: 0},
+		X:       chunk.Tuple{ID: xid1, SN: 0, ST: true},
+		Payload: p1,
+	}
+	c2 := chunk.Chunk{
+		Type: chunk.TypeData, Size: elemSize, Len: tpduElems - x1Elems,
+		C:       chunk.Tuple{ID: cid, SN: 9000 + x1Elems},
+		T:       chunk.Tuple{ID: tid, SN: x1Elems, ST: true},
+		X:       chunk.Tuple{ID: xid2, SN: 0},
+		Payload: p2,
+	}
+	layout := errdet.DefaultLayout()
+	par, err := errdet.Encode(layout, []chunk.Chunk{c1, c2})
+	if err != nil {
+		return nil, chunk.Chunk{}, err
+	}
+	f1, err := c1.SplitToFit(chunk.HeaderSize + perFrag*elemSize)
+	if err != nil {
+		return nil, chunk.Chunk{}, err
+	}
+	f2, err := c2.SplitToFit(chunk.HeaderSize + perFrag*elemSize)
+	if err != nil {
+		return nil, chunk.Chunk{}, err
+	}
+	return append(f1, f2...), errdet.EDChunk(cid, tid, 9000, par), nil
+}
+
+// pickTarget returns the index (within frags, or -1 for the ED chunk)
+// of the fragment the case targets.
+func pickTarget(frags []chunk.Chunk, kind TargetKind) int {
+	switch kind {
+	case EDFragment:
+		return -1
+	case TriggerFragment:
+		for i := range frags {
+			if frags[i].X.ST {
+				return i
+			}
+		}
+	case FinalFragment:
+		for i := range frags {
+			if frags[i].T.ST {
+				return i
+			}
+		}
+	default: // MiddleFragment: no ST bits, not first
+		for i := 1; i < len(frags); i++ {
+			if !frags[i].T.ST && !frags[i].X.ST && !frags[i].C.ST {
+				return i
+			}
+		}
+	}
+	return 0
+}
+
+// Run executes one case and classifies the outcome. The chunks travel
+// one per packet; a corruption that breaks parsing drops its packet,
+// exactly as a checksumming link layer would.
+func Run(c Case, seed int64) (Outcome, error) {
+	frags, ed, err := scenario(seed)
+	if err != nil {
+		return Outcome{}, err
+	}
+	all := append(append([]chunk.Chunk{}, frags...), ed)
+
+	dropped := false
+	switch c.Mode {
+	case WholeLabel:
+		for i := range all {
+			c.Label(&all[i])
+		}
+	case PerFragment:
+		idx := pickTarget(frags, c.Target)
+		if idx == -1 {
+			idx = len(all) - 1 // the ED chunk
+		}
+		// Corrupt on the wire inside the fragment's packet.
+		p := packet.Packet{Chunks: []chunk.Chunk{all[idx]}}
+		wire, err := p.AppendTo(nil, 0)
+		if err != nil {
+			return Outcome{}, err
+		}
+		c.Wire(wire[packet.HeaderSize:])
+		dec, err := packet.Decode(wire)
+		if err != nil || len(dec.Chunks) != 1 {
+			// Unparseable: the packet is discarded in flight.
+			all = append(all[:idx], all[idx+1:]...)
+			dropped = true
+		} else {
+			all[idx] = dec.Chunks[0].Clone()
+		}
+	}
+
+	r, err := errdet.NewReceiver(errdet.DefaultLayout())
+	if err != nil {
+		return Outcome{}, err
+	}
+	for i := range all {
+		if err := r.Ingest(&all[i]); err != nil {
+			// Unknown chunk type after corruption: treated as a drop.
+			dropped = true
+		}
+	}
+	verdicts := r.Finalize()
+
+	got := classify(verdicts, r.Findings())
+	return Outcome{
+		Case:     c,
+		Got:      got,
+		Detected: got.Detected(),
+		Dropped:  dropped,
+		Match:    got == c.Paper,
+	}, nil
+}
+
+// classify reduces verdicts and findings to the single strongest
+// detection mechanism: ED code > consistency check > reassembly error.
+// VerdictOK with no findings means the corruption went undetected.
+func classify(verdicts map[uint32]errdet.Verdict, findings []errdet.Finding) errdet.Verdict {
+	has := func(v errdet.Verdict) bool {
+		for _, f := range findings {
+			if f.Class == v {
+				return true
+			}
+		}
+		for _, fv := range verdicts {
+			if fv == v {
+				return true
+			}
+		}
+		return false
+	}
+	switch {
+	case has(errdet.VerdictEDMismatch):
+		return errdet.VerdictEDMismatch
+	case has(errdet.VerdictConsistency):
+		return errdet.VerdictConsistency
+	case has(errdet.VerdictReassembly):
+		return errdet.VerdictReassembly
+	}
+	return errdet.VerdictOK
+}
+
+// RunAll executes the whole matrix.
+func RunAll(seed int64) ([]Outcome, error) {
+	var out []Outcome
+	for _, c := range Cases() {
+		o, err := Run(c, seed)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%v: %w", c.Field, c.Mode, err)
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+// Baseline verifies that with NO corruption the scenario verifies
+// clean — the control row of the experiment.
+func Baseline(seed int64) (errdet.Verdict, error) {
+	frags, ed, err := scenario(seed)
+	if err != nil {
+		return errdet.VerdictPending, err
+	}
+	r, err := errdet.NewReceiver(errdet.DefaultLayout())
+	if err != nil {
+		return errdet.VerdictPending, err
+	}
+	for i := range frags {
+		if err := r.Ingest(&frags[i]); err != nil {
+			return errdet.VerdictPending, err
+		}
+	}
+	if err := r.Ingest(&ed); err != nil {
+		return errdet.VerdictPending, err
+	}
+	return classify(r.Finalize(), r.Findings()), nil
+}

@@ -1,0 +1,230 @@
+package gf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddIsXor(t *testing.T) {
+	if Add(0x1234, 0x00F0) != 0x12C4 {
+		t.Fatalf("Add(0x1234,0x00F0) = %#x", Add(0x1234, 0x00F0))
+	}
+	if Add(7, 7) != 0 {
+		t.Fatal("x + x must be 0 in characteristic 2")
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	for _, v := range []uint32{0, 1, 2, 0xFFFFFFFF, 0xDEADBEEF, Poly} {
+		if Mul(v, 1) != v {
+			t.Errorf("Mul(%#x, 1) = %#x, want %#x", v, Mul(v, 1), v)
+		}
+		if Mul(1, v) != v {
+			t.Errorf("Mul(1, %#x) = %#x, want %#x", v, Mul(1, v), v)
+		}
+		if Mul(v, 0) != 0 {
+			t.Errorf("Mul(%#x, 0) = %#x, want 0", v, Mul(v, 0))
+		}
+	}
+}
+
+func TestMulCommutative(t *testing.T) {
+	f := func(a, b uint32) bool { return Mul(a, b) == Mul(b, a) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulAssociative(t *testing.T) {
+	f := func(a, b, c uint32) bool { return Mul(Mul(a, b), c) == Mul(a, Mul(b, c)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulDistributesOverAdd(t *testing.T) {
+	f := func(a, b, c uint32) bool { return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	f := func(a uint32) bool {
+		if a == 0 {
+			return Inv(a) == 0
+		}
+		return Mul(a, Inv(a)) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiv(t *testing.T) {
+	f := func(a, b uint32) bool {
+		if b == 0 {
+			return Div(a, b) == 0
+		}
+		return Mul(Div(a, b), b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAlphaPrimitive asserts that Alpha generates the full
+// multiplicative group: Alpha^(2^32-1) = 1 and Alpha^((2^32-1)/p) != 1
+// for every prime factor p of 2^32-1 = 3*5*17*257*65537. This is the
+// property that guarantees distinct WSC-2 position weights.
+func TestAlphaPrimitive(t *testing.T) {
+	if got := Pow(Alpha, Order); got != 1 {
+		t.Fatalf("Alpha^Order = %#x, want 1", got)
+	}
+	for _, p := range []uint64{3, 5, 17, 257, 65537} {
+		if got := Pow(Alpha, Order/p); got == 1 {
+			t.Fatalf("Alpha^(Order/%d) = 1; Alpha is not primitive", p)
+		}
+	}
+}
+
+func TestPowLaws(t *testing.T) {
+	f := func(a uint32, e1, e2 uint16) bool {
+		x, y := uint64(e1), uint64(e2)
+		return Mul(Pow(a, x), Pow(a, y)) == Pow(a, x+y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulAlphaMatchesMul(t *testing.T) {
+	f := func(a uint32) bool { return MulAlpha(a) == Mul(a, Alpha) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlphaPowReduction(t *testing.T) {
+	// AlphaPow must reduce exponents mod the group order.
+	if AlphaPow(0) != 1 {
+		t.Fatalf("AlphaPow(0) = %#x", AlphaPow(0))
+	}
+	if AlphaPow(Order) != 1 {
+		t.Fatalf("AlphaPow(Order) = %#x, want 1", AlphaPow(Order))
+	}
+	if AlphaPow(Order+5) != AlphaPow(5) {
+		t.Fatal("AlphaPow must be periodic with period Order")
+	}
+}
+
+func TestHornerSmall(t *testing.T) {
+	// d0 + α·d1 + α²·d2 computed by hand.
+	d := []uint32{5, 9, 3}
+	want := Add(Add(d[0], Mul(Alpha, d[1])), Mul(Mul(Alpha, Alpha), d[2]))
+	if got := Horner(d); got != want {
+		t.Fatalf("Horner = %#x, want %#x", got, want)
+	}
+}
+
+func TestHornerEmpty(t *testing.T) {
+	if Horner(nil) != 0 {
+		t.Fatal("Horner(nil) must be 0")
+	}
+}
+
+// TestHornerSplit is the property fragmentation depends on: splitting a
+// run anywhere and summing the two weighted contributions equals the
+// weighted contribution of the whole run.
+func TestHornerSplit(t *testing.T) {
+	f := func(data []uint32, at uint8, start uint16) bool {
+		if len(data) == 0 {
+			return true
+		}
+		k := int(at) % len(data)
+		s := uint64(start)
+		whole := DotAlpha(s, data)
+		split := Add(DotAlpha(s, data[:k]), DotAlpha(s+uint64(k), data[k:]))
+		return whole == split
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDotAlphaOrderIndependent: contributions of disjoint runs XOR to
+// the same total no matter the order of accumulation — the property
+// that lets the receiver checksum disordered chunks.
+func TestDotAlphaOrderIndependent(t *testing.T) {
+	data := []uint32{0xAAAA5555, 1, 2, 3, 0xFFFFFFFF, 42, 7, 9}
+	whole := DotAlpha(0, data)
+	// Accumulate per-symbol in reversed order.
+	var acc uint32
+	for i := len(data) - 1; i >= 0; i-- {
+		acc = Add(acc, DotAlpha(uint64(i), data[i:i+1]))
+	}
+	if acc != whole {
+		t.Fatalf("disordered accumulation %#x != whole %#x", acc, whole)
+	}
+}
+
+func TestSum(t *testing.T) {
+	if Sum([]uint32{1, 2, 4}) != 7 {
+		t.Fatal("Sum of 1,2,4 must be 7")
+	}
+	if Sum(nil) != 0 {
+		t.Fatal("Sum(nil) must be 0")
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Mul(0xDEADBEEF, uint32(i))
+	}
+}
+
+func BenchmarkHorner1K(b *testing.B) {
+	d := make([]uint32, 1024)
+	for i := range d {
+		d[i] = uint32(i) * 0x9E3779B9
+	}
+	b.SetBytes(int64(len(d) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Horner(d)
+	}
+}
+
+func BenchmarkAlphaPow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = AlphaPow(uint64(i) * 16384)
+	}
+}
+
+// TestKnownAnswers pins the field to its reduction polynomial: these
+// vectors change if Poly ever changes, which would silently break
+// wire compatibility of every WSC-2 parity.
+func TestKnownAnswers(t *testing.T) {
+	cases := []struct {
+		a, b, want uint32
+	}{
+		{0xDEADBEEF, 0x12345678, 0x9F14AD51},
+		{0xFFFFFFFF, 0xFFFFFFFF, 0xAAD54FFE},
+		{0x80000000, 2, Poly}, // x^31 * x = x^32 = Poly (mod p)
+	}
+	for _, c := range cases {
+		if got := Mul(c.a, c.b); got != c.want {
+			t.Errorf("Mul(%#x, %#x) = %#x, want %#x", c.a, c.b, got, c.want)
+		}
+	}
+	// Powers used by the default errdet layout positions.
+	if got := AlphaPow(16384); got != 0x50D95AC6 {
+		t.Errorf("AlphaPow(16384) = %#x", got)
+	}
+	if got := AlphaPow(16387); got != 0x864AD63E {
+		t.Errorf("AlphaPow(16387) = %#x", got)
+	}
+	if got := Inv(3); got != 0xFFC00002 {
+		t.Errorf("Inv(3) = %#x", got)
+	}
+}

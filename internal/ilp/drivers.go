@@ -1,0 +1,168 @@
+package ilp
+
+import (
+	"sort"
+
+	"chunks/internal/chunk"
+	"chunks/internal/stats"
+	"chunks/internal/vr"
+)
+
+// An Arrival is one data chunk at its receive time.
+type Arrival struct {
+	C    chunk.Chunk
+	Tick int64
+}
+
+// Result aggregates the measurements of one receive-path run.
+type Result struct {
+	// Touches counts payload bytes moved across the bus.
+	Touches stats.Touches
+	// Latency samples, one per chunk: ticks between the chunk's
+	// arrival and the moment its bytes reached their final location.
+	Latency stats.Latency
+	// Buffer is the reassembly-buffer occupancy (zero for the
+	// immediate path, which has no reassembly buffer).
+	Buffer stats.Occupancy
+	// Out is the application buffer after the run.
+	Out []byte
+}
+
+// RunImmediate is the chunk receive path: each chunk is deciphered and
+// placed the moment it arrives — one read from the interface, one
+// write to the application address space, latency zero.
+func RunImmediate(arrivals []Arrival, cipher Cipher, bufSize int, base uint64) *Result {
+	res := &Result{Out: make([]byte, bufSize)}
+	placer := Placer{Buf: res.Out, Base: base, Touches: &res.Touches}
+	tmp := make([]byte, 0, 4096)
+	for i := range arrivals {
+		c := &arrivals[i].C
+		res.Touches.Move(len(c.Payload)) // read from interface
+		if cap(tmp) < len(c.Payload) {
+			tmp = make([]byte, len(c.Payload))
+		}
+		tmp = tmp[:len(c.Payload)]
+		cipher.XORKeyStreamAt(tmp, c.Payload, StreamPos(c))
+		dec := *c
+		dec.Payload = tmp
+		placer.Place(&dec) // write to final location
+		res.Latency.Record(0)
+	}
+	return res
+}
+
+// RunBuffered is the conventional receive path: chunks are buffered
+// until their TPDU is complete, then the TPDU is sorted, deciphered
+// and placed — two extra bus crossings per byte and a latency equal to
+// the wait for the PDU's last chunk.
+func RunBuffered(arrivals []Arrival, cipher Cipher, bufSize int, base uint64) *Result {
+	res := &Result{Out: make([]byte, bufSize)}
+	placer := Placer{Buf: res.Out, Base: base, Touches: &res.Touches}
+
+	type held struct {
+		c    chunk.Chunk
+		tick int64
+	}
+	pending := make(map[uint32][]held)
+	var track vr.Tracker
+
+	for i := range arrivals {
+		a := &arrivals[i]
+		c := a.C
+		res.Touches.Move(len(c.Payload)) // read from interface
+		// Copy into the reassembly buffer.
+		buffered := c.Clone()
+		res.Touches.Move(len(c.Payload)) // write into buffer
+		res.Buffer.Grow(len(c.Payload))
+		key := vr.Key{Level: vr.LevelT, ID: c.T.ID}
+		pending[c.T.ID] = append(pending[c.T.ID], held{buffered, a.Tick})
+		if _, err := track.Add(key, c.T.SN, uint64(c.Len), c.T.ST); err != nil {
+			continue
+		}
+		if !track.Complete(key) {
+			continue
+		}
+		// PDU complete: sort, decipher, place.
+		hs := pending[c.T.ID]
+		delete(pending, c.T.ID)
+		track.Retire(key)
+		sort.Slice(hs, func(x, y int) bool { return hs[x].c.T.SN < hs[y].c.T.SN })
+		for _, h := range hs {
+			res.Touches.Move(len(h.c.Payload)) // read from buffer
+			cipher.XORKeyStreamAt(h.c.Payload, h.c.Payload, StreamPos(&h.c))
+			placer.Place(&h.c) // write to final location
+			res.Buffer.Shrink(len(h.c.Payload))
+			res.Latency.Record(a.Tick - h.tick)
+		}
+	}
+	return res
+}
+
+// RunReordering is the middle option of Section 3.3's three: data are
+// REORDERED (not physically reassembled into PDUs) before processing.
+// The receiver holds only out-of-order chunks: anything extending the
+// in-order frontier of the connection stream is deciphered and placed
+// immediately, while chunks beyond a gap wait in the reorder buffer.
+// The paper: "Reordering is somewhere in-between and the number of
+// times that data must be accessed depends on the amount of
+// disordering in the network."
+func RunReordering(arrivals []Arrival, cipher Cipher, bufSize int, base uint64) *Result {
+	res := &Result{Out: make([]byte, bufSize)}
+	placer := Placer{Buf: res.Out, Base: base, Touches: &res.Touches}
+
+	type held struct {
+		c    chunk.Chunk
+		tick int64
+	}
+	// Out-of-order chunks keyed by their starting connection element.
+	pending := make(map[uint64]held)
+	// The in-order frontier starts at the stream head.
+	var next uint64
+	if len(arrivals) > 0 {
+		next = arrivals[0].C.C.SN
+		for i := range arrivals {
+			if arrivals[i].C.C.SN < next {
+				next = arrivals[i].C.C.SN
+			}
+		}
+	}
+
+	process := func(c *chunk.Chunk, waited int64) {
+		res.Touches.Move(len(c.Payload)) // read (from interface or buffer)
+		tmp := make([]byte, len(c.Payload))
+		cipher.XORKeyStreamAt(tmp, c.Payload, StreamPos(c))
+		dec := *c
+		dec.Payload = tmp
+		placer.Place(&dec) // write to final location
+		res.Latency.Record(waited)
+	}
+
+	for i := range arrivals {
+		a := &arrivals[i]
+		c := a.C
+		if c.C.SN == next {
+			// In order: one-pass processing, like the immediate path.
+			process(&c, 0)
+			next += uint64(c.Len)
+			// Drain any buffered chunks that are now in order.
+			for {
+				h, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				res.Buffer.Shrink(len(h.c.Payload))
+				process(&h.c, a.Tick-h.tick)
+				next += uint64(h.c.Len)
+			}
+			continue
+		}
+		// Out of order: buffer (extra write now, extra read later).
+		res.Touches.Move(len(c.Payload)) // read from interface
+		buffered := c.Clone()
+		res.Touches.Move(len(c.Payload)) // write into reorder buffer
+		res.Buffer.Grow(len(c.Payload))
+		pending[c.C.SN] = held{buffered, a.Tick}
+	}
+	return res
+}

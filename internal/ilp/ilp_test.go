@@ -1,0 +1,271 @@
+package ilp
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"chunks/internal/chunk"
+)
+
+func TestCipherInvolution(t *testing.T) {
+	f := func(key uint64, data []byte, pos uint32) bool {
+		c := Cipher{Key: key}
+		enc := make([]byte, len(data))
+		c.XORKeyStreamAt(enc, data, uint64(pos))
+		dec := make([]byte, len(enc))
+		c.XORKeyStreamAt(dec, enc, uint64(pos))
+		return bytes.Equal(dec, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCipherPositionIndependence: deciphering a fragment needs only
+// its own position — encrypt a whole buffer, decrypt it in shuffled
+// fragments.
+func TestCipherPositionIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data := make([]byte, 1000)
+	rng.Read(data)
+	c := Cipher{Key: 0xFEED}
+	enc := make([]byte, len(data))
+	c.XORKeyStreamAt(enc, data, 0)
+
+	dec := make([]byte, len(data))
+	var offs []int
+	for off := 0; off < len(data); off += 100 {
+		offs = append(offs, off)
+	}
+	rng.Shuffle(len(offs), func(i, j int) { offs[i], offs[j] = offs[j], offs[i] })
+	for _, off := range offs {
+		c.XORKeyStreamAt(dec[off:off+100], enc[off:off+100], uint64(off))
+	}
+	if !bytes.Equal(dec, data) {
+		t.Fatal("fragment-wise decryption failed")
+	}
+}
+
+func TestCipherPositionMatters(t *testing.T) {
+	c := Cipher{Key: 1}
+	src := bytes.Repeat([]byte{0xAA}, 64)
+	a := make([]byte, 64)
+	b := make([]byte, 64)
+	c.XORKeyStreamAt(a, src, 0)
+	c.XORKeyStreamAt(b, src, 64)
+	if bytes.Equal(a, b) {
+		t.Fatal("keystream must differ by position")
+	}
+	d := Cipher{Key: 2}
+	b2 := make([]byte, 64)
+	d.XORKeyStreamAt(b2, src, 0)
+	if bytes.Equal(a, b2) {
+		t.Fatal("keystream must differ by key")
+	}
+}
+
+func TestStreamPos(t *testing.T) {
+	c := chunk.Chunk{Size: 4, C: chunk.Tuple{SN: 10}}
+	if StreamPos(&c) != 40 {
+		t.Fatalf("StreamPos = %d", StreamPos(&c))
+	}
+}
+
+func TestPlacerWindow(t *testing.T) {
+	buf := make([]byte, 8)
+	p := Placer{Buf: buf, Base: 16}
+	mk := func(csn uint64, data ...byte) chunk.Chunk {
+		return chunk.Chunk{Size: 1, Len: uint32(len(data)), C: chunk.Tuple{SN: csn}, Payload: data}
+	}
+	before := mk(10, 1, 2) // entirely before the window
+	p.Place(&before)
+	inside := mk(18, 7, 8) // positions 18,19 -> offsets 2,3
+	p.Place(&inside)
+	after := mk(30, 9) // beyond the window
+	p.Place(&after)
+	straddle := mk(22, 5, 5, 5) // offsets 6,7 fit; 8 clipped
+	p.Place(&straddle)
+	want := []byte{0, 0, 7, 8, 0, 0, 5, 5}
+	if !bytes.Equal(buf, want) {
+		t.Fatalf("buf = %v, want %v", buf, want)
+	}
+}
+
+// arrivalsFor builds a TPDU stream: `tpdus` TPDUs of `elems` 4-byte
+// elements, encrypted, fragmented, in the given arrival order.
+func arrivalsFor(t *testing.T, tpdus, elems, perFrag int, shuffleSeed int64) ([]Arrival, []byte, Cipher) {
+	t.Helper()
+	cipher := Cipher{Key: 0xC0FFEE}
+	rng := rand.New(rand.NewSource(7))
+	stream := make([]byte, tpdus*elems*4)
+	rng.Read(stream)
+
+	var arrivals []Arrival
+	for i := 0; i < tpdus; i++ {
+		plain := stream[i*elems*4 : (i+1)*elems*4]
+		enc := make([]byte, len(plain))
+		csn := uint64(i * elems)
+		cipher.XORKeyStreamAt(enc, plain, csn*4)
+		c := chunk.Chunk{
+			Type: chunk.TypeData, Size: 4, Len: uint32(elems),
+			C:       chunk.Tuple{ID: 1, SN: csn},
+			T:       chunk.Tuple{ID: uint32(i), SN: 0, ST: true},
+			X:       chunk.Tuple{ID: 1, SN: csn},
+			Payload: enc,
+		}
+		frags, err := c.SplitToFit(chunk.HeaderSize + perFrag*4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range frags {
+			arrivals = append(arrivals, Arrival{C: f.Clone(), Tick: int64(len(arrivals))})
+		}
+	}
+	if shuffleSeed != 0 {
+		sh := rand.New(rand.NewSource(shuffleSeed))
+		sh.Shuffle(len(arrivals), func(i, j int) { arrivals[i], arrivals[j] = arrivals[j], arrivals[i] })
+		for i := range arrivals {
+			arrivals[i].Tick = int64(i)
+		}
+	}
+	return arrivals, stream, cipher
+}
+
+func TestImmediateCorrectDisordered(t *testing.T) {
+	arrivals, want, cipher := arrivalsFor(t, 4, 32, 8, 99)
+	res := RunImmediate(arrivals, cipher, len(want), 0)
+	if !bytes.Equal(res.Out, want) {
+		t.Fatal("immediate path produced wrong application data")
+	}
+	if res.Buffer.Peak() != 0 {
+		t.Fatal("immediate path must not buffer")
+	}
+	if res.Latency.Max() != 0 {
+		t.Fatal("immediate path has zero processing latency")
+	}
+}
+
+func TestBufferedCorrectDisordered(t *testing.T) {
+	arrivals, want, cipher := arrivalsFor(t, 4, 32, 8, 99)
+	res := RunBuffered(arrivals, cipher, len(want), 0)
+	if !bytes.Equal(res.Out, want) {
+		t.Fatal("buffered path produced wrong application data")
+	}
+	if res.Buffer.Peak() == 0 {
+		t.Fatal("buffered path must buffer")
+	}
+}
+
+// TestImmediateHalvesBusTraffic (experiment P1): the buffered path
+// moves every byte across the bus twice as many times and adds
+// waiting-for-PDU latency.
+func TestImmediateHalvesBusTraffic(t *testing.T) {
+	arrivals, want, cipher := arrivalsFor(t, 8, 64, 8, 31)
+	imm := RunImmediate(arrivals, cipher, len(want), 0)
+	buf := RunBuffered(arrivals, cipher, len(want), 0)
+
+	payload := int64(len(want))
+	if got := imm.Touches.PerByte(payload); got != 2.0 {
+		t.Fatalf("immediate touches/byte = %v, want 2", got)
+	}
+	if got := buf.Touches.PerByte(payload); got != 4.0 {
+		t.Fatalf("buffered touches/byte = %v, want 4", got)
+	}
+	if buf.Latency.Mean() <= imm.Latency.Mean() {
+		t.Fatal("buffering must add latency")
+	}
+	if buf.Latency.Max() == 0 {
+		t.Fatal("disordered arrivals must make some chunk wait")
+	}
+}
+
+func TestBufferedInOrderStillBuffers(t *testing.T) {
+	// Even with perfectly ordered arrival the buffered path pays the
+	// copies (its latency collapses, its bus cost does not).
+	arrivals, want, cipher := arrivalsFor(t, 2, 32, 8, 0)
+	buf := RunBuffered(arrivals, cipher, len(want), 0)
+	if !bytes.Equal(buf.Out, want) {
+		t.Fatal("in-order buffered path wrong")
+	}
+	if got := buf.Touches.PerByte(int64(len(want))); got != 4.0 {
+		t.Fatalf("touches/byte = %v", got)
+	}
+}
+
+func BenchmarkImmediateVsBuffered(b *testing.B) {
+	cipher := Cipher{Key: 1}
+	rng := rand.New(rand.NewSource(1))
+	const tpdus, elems, perFrag = 4, 256, 64
+	stream := make([]byte, tpdus*elems*4)
+	rng.Read(stream)
+	var arrivals []Arrival
+	for i := 0; i < tpdus; i++ {
+		csn := uint64(i * elems)
+		enc := make([]byte, elems*4)
+		cipher.XORKeyStreamAt(enc, stream[i*elems*4:(i+1)*elems*4], csn*4)
+		c := chunk.Chunk{
+			Type: chunk.TypeData, Size: 4, Len: elems,
+			C: chunk.Tuple{ID: 1, SN: csn}, T: chunk.Tuple{ID: uint32(i), ST: true}, X: chunk.Tuple{ID: 1, SN: csn},
+			Payload: enc,
+		}
+		frags, _ := c.SplitToFit(chunk.HeaderSize + perFrag*4)
+		for _, f := range frags {
+			arrivals = append(arrivals, Arrival{C: f, Tick: int64(len(arrivals))})
+		}
+	}
+	b.Run("immediate", func(b *testing.B) {
+		b.SetBytes(int64(len(stream)))
+		for i := 0; i < b.N; i++ {
+			RunImmediate(arrivals, cipher, len(stream), 0)
+		}
+	})
+	b.Run("buffered", func(b *testing.B) {
+		b.SetBytes(int64(len(stream)))
+		for i := 0; i < b.N; i++ {
+			RunBuffered(arrivals, cipher, len(stream), 0)
+		}
+	})
+}
+
+func TestReorderingCorrectDisordered(t *testing.T) {
+	arrivals, want, cipher := arrivalsFor(t, 4, 32, 8, 99)
+	res := RunReordering(arrivals, cipher, len(want), 0)
+	if !bytes.Equal(res.Out, want) {
+		t.Fatal("reordering path produced wrong application data")
+	}
+	if res.Buffer.Peak() == 0 {
+		t.Fatal("disordered arrivals must use the reorder buffer")
+	}
+}
+
+func TestReorderingInOrderMatchesImmediate(t *testing.T) {
+	// With zero disorder the reordering path degenerates to the
+	// immediate path: 2 touches per byte, no buffer, no waiting.
+	arrivals, want, cipher := arrivalsFor(t, 2, 32, 8, 0)
+	res := RunReordering(arrivals, cipher, len(want), 0)
+	if !bytes.Equal(res.Out, want) {
+		t.Fatal("in-order reordering path wrong")
+	}
+	if got := res.Touches.PerByte(int64(len(want))); got != 2.0 {
+		t.Fatalf("touches/byte = %v, want 2 with no disorder", got)
+	}
+	if res.Buffer.Peak() != 0 || res.Latency.Max() != 0 {
+		t.Fatal("no disorder: no buffering, no waiting")
+	}
+}
+
+// TestReorderingIsInBetween reproduces the Section 3.3 sentence: the
+// reordering path's bus cost sits between immediate processing and
+// full reassembly, scaling with the amount of disorder.
+func TestReorderingIsInBetween(t *testing.T) {
+	arrivals, want, cipher := arrivalsFor(t, 8, 64, 8, 31)
+	payload := int64(len(want))
+	imm := RunImmediate(arrivals, cipher, len(want), 0).Touches.PerByte(payload)
+	reo := RunReordering(arrivals, cipher, len(want), 0).Touches.PerByte(payload)
+	buf := RunBuffered(arrivals, cipher, len(want), 0).Touches.PerByte(payload)
+	if !(imm < reo && reo <= buf) {
+		t.Fatalf("expected immediate(%v) < reordering(%v) <= buffered(%v)", imm, reo, buf)
+	}
+}

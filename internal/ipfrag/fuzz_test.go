@@ -1,0 +1,50 @@
+package ipfrag
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDecodeArbitraryBytes(t *testing.T) {
+	f := func(b []byte) bool {
+		frag, err := Decode(b)
+		if err != nil {
+			return true
+		}
+		return len(frag.Data)+HeaderSize <= len(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReassemblerArbitraryFragments: random fragments must never
+// panic the reassembler, and completed datagrams must match their
+// declared extent.
+func TestReassemblerArbitraryFragments(t *testing.T) {
+	f := func(frags []struct {
+		ID     uint8
+		Offset uint16
+		More   bool
+		Len    uint8
+	}) bool {
+		r := NewReassembler(1 << 20)
+		for _, fr := range frags {
+			data := make([]byte, int(fr.Len)%64+1)
+			out, err := r.Add(Fragment{
+				ID: uint32(fr.ID), Offset: uint32(fr.Offset) % 4096,
+				More: fr.More, Data: data,
+			})
+			if err != nil && err != ErrBufferFull {
+				return false
+			}
+			if out != nil && len(out) == 0 {
+				return false
+			}
+		}
+		return r.Used() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,261 @@
+// Package ipfrag implements IP-style fragmentation and reassembly
+// [POST 81], the primary comparison system of Section 3.2. An IP
+// fragment carries a single level of framing — (identification,
+// fragment offset, more-fragments bit) — so a fragment cannot be
+// processed until its whole datagram has been physically reassembled:
+// "fragments must be reassembled into PDUs at the receiver before they
+// can be processed as usual". Reassembly needs one step per
+// fragmentation format, buffers fragments (extra data movement), and
+// its buffer can lock up (Section 3.3, [KENT 87]).
+package ipfrag
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Wire layout of a fragment:
+//
+//	offset size field
+//	0      4    identification (datagram ID)
+//	4      4    fragment offset in bytes
+//	8      2    data length
+//	10     1    flags (bit0 = more fragments)
+//	11     1    reserved
+//	12     -    data
+const (
+	// HeaderSize is the per-fragment header length.
+	HeaderSize = 12
+	flagMF     = 1 << 0
+)
+
+// Errors reported by the fragmenter and reassembler.
+var (
+	ErrShortBuffer = errors.New("ipfrag: truncated fragment")
+	ErrTinyMTU     = errors.New("ipfrag: MTU cannot hold any data")
+	ErrBufferFull  = errors.New("ipfrag: reassembly buffer full")
+)
+
+// A Fragment is one piece of a datagram.
+type Fragment struct {
+	ID     uint32
+	Offset uint32
+	More   bool
+	Data   []byte
+}
+
+// AppendTo appends the wire encoding.
+func (f *Fragment) AppendTo(b []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, f.ID)
+	b = binary.BigEndian.AppendUint32(b, f.Offset)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(f.Data)))
+	var fl byte
+	if f.More {
+		fl |= flagMF
+	}
+	b = append(b, fl, 0)
+	return append(b, f.Data...)
+}
+
+// Decode parses one fragment; Data aliases b.
+func Decode(b []byte) (Fragment, error) {
+	if len(b) < HeaderSize {
+		return Fragment{}, ErrShortBuffer
+	}
+	n := int(binary.BigEndian.Uint16(b[8:10]))
+	if len(b) < HeaderSize+n {
+		return Fragment{}, ErrShortBuffer
+	}
+	return Fragment{
+		ID:     binary.BigEndian.Uint32(b[0:4]),
+		Offset: binary.BigEndian.Uint32(b[4:8]),
+		More:   b[10]&flagMF != 0,
+		Data:   b[HeaderSize : HeaderSize+n : HeaderSize+n],
+	}, nil
+}
+
+// Fragment splits a datagram payload into fragments whose encoded size
+// fits mtu. The final fragment has More=false.
+func Split(id uint32, payload []byte, mtu int) ([]Fragment, error) {
+	per := mtu - HeaderSize
+	if per < 1 {
+		return nil, ErrTinyMTU
+	}
+	var out []Fragment
+	for off := 0; ; off += per {
+		end := off + per
+		if end >= len(payload) {
+			out = append(out, Fragment{ID: id, Offset: uint32(off), More: false, Data: payload[off:]})
+			return out, nil
+		}
+		out = append(out, Fragment{ID: id, Offset: uint32(off), More: true, Data: payload[off:end]})
+	}
+}
+
+// Refragment splits an existing fragment for a smaller MTU — IP's
+// fragments-of-fragments. Unlike chunks, this ADDS a reassembly
+// relationship the receiver must resolve with the same single-level
+// (ID, offset, MF) namespace.
+func Refragment(f Fragment, mtu int) ([]Fragment, error) {
+	per := mtu - HeaderSize
+	if per < 1 {
+		return nil, ErrTinyMTU
+	}
+	if len(f.Data) <= per {
+		return []Fragment{f}, nil
+	}
+	var out []Fragment
+	for off := 0; off < len(f.Data); off += per {
+		end := off + per
+		last := false
+		if end >= len(f.Data) {
+			end = len(f.Data)
+			last = true
+		}
+		out = append(out, Fragment{
+			ID:     f.ID,
+			Offset: f.Offset + uint32(off),
+			More:   f.More || !last,
+			Data:   f.Data[off:end],
+		})
+	}
+	return out, nil
+}
+
+// pending is one datagram under reassembly.
+type pending struct {
+	data  []byte
+	have  []span
+	total int // -1 until the final fragment arrives
+	bytes int // buffered payload bytes (occupancy accounting)
+}
+
+type span struct{ lo, hi int }
+
+// A Reassembler performs receiver-side datagram reassembly with a
+// bounded buffer — the structure whose lock-up Section 3.3 describes:
+// "reassembly buffer lock-up occurs when the reassembly buffer is
+// filled completely and yet no single PDU is complete."
+type Reassembler struct {
+	// Capacity bounds total buffered payload bytes; 0 means unbounded.
+	Capacity int
+
+	pend map[uint32]*pending
+	used int
+}
+
+// NewReassembler returns a reassembler with the given buffer capacity.
+func NewReassembler(capacity int) *Reassembler {
+	return &Reassembler{Capacity: capacity, pend: make(map[uint32]*pending)}
+}
+
+// Used returns the buffered payload bytes.
+func (r *Reassembler) Used() int { return r.used }
+
+// Pending returns the number of incomplete datagrams.
+func (r *Reassembler) Pending() int { return len(r.pend) }
+
+// LockedUp reports the Section 3.3 condition: the buffer is full but
+// no datagram is complete, so no progress is possible without
+// discarding partial datagrams.
+func (r *Reassembler) LockedUp() bool {
+	return r.Capacity > 0 && r.used >= r.Capacity
+}
+
+// Add ingests one fragment. It returns the completed datagram payload
+// when f finishes one, or nil. ErrBufferFull reports that buffering
+// this fragment would exceed capacity — the caller must drop it (and,
+// per Kent & Mogul, the rest of its datagram is then doomed to time
+// out).
+func (r *Reassembler) Add(f Fragment) ([]byte, error) {
+	p := r.pend[f.ID]
+	if p == nil {
+		p = &pending{total: -1}
+		r.pend[f.ID] = p
+	}
+	lo, hi := int(f.Offset), int(f.Offset)+len(f.Data)
+
+	fresh := hi - lo
+	for _, s := range p.have {
+		if lo >= s.lo && hi <= s.hi {
+			fresh = 0 // duplicate
+			break
+		}
+	}
+	if fresh > 0 && r.Capacity > 0 && r.used+fresh > r.Capacity {
+		if len(p.have) == 0 {
+			delete(r.pend, f.ID)
+		}
+		return nil, ErrBufferFull
+	}
+
+	if hi > len(p.data) {
+		grown := make([]byte, hi)
+		copy(grown, p.data)
+		p.data = grown
+	}
+	copy(p.data[lo:hi], f.Data)
+	p.have = append(p.have, span{lo, hi})
+	if fresh > 0 {
+		p.bytes += fresh
+		r.used += fresh
+	}
+	if !f.More {
+		p.total = hi
+	}
+	if p.total >= 0 && covered(p.have, p.total) {
+		out := p.data[:p.total]
+		r.used -= p.bytes
+		delete(r.pend, f.ID)
+		return out, nil
+	}
+	return nil, nil
+}
+
+// Evict discards one incomplete datagram (smallest ID for
+// determinism), freeing its buffer space; the datagram's already-
+// received fragments are lost — the loss-amplification cost of
+// breaking a lock-up. It reports whether anything was evicted.
+func (r *Reassembler) Evict() (uint32, bool) {
+	var victim uint32
+	found := false
+	for id := range r.pend {
+		if !found || id < victim {
+			victim, found = id, true
+		}
+	}
+	if !found {
+		return 0, false
+	}
+	r.used -= r.pend[victim].bytes
+	delete(r.pend, victim)
+	return victim, true
+}
+
+// covered reports whether spans cover [0, total).
+func covered(spans []span, total int) bool {
+	// Merge-scan; span lists are tiny (fragments per datagram).
+	cur := 0
+	for cur < total {
+		advanced := false
+		for _, s := range spans {
+			if s.lo <= cur && s.hi > cur {
+				cur = s.hi
+				advanced = true
+			}
+		}
+		if !advanced {
+			return false
+		}
+	}
+	return true
+}
+
+// ReassemblySteps describes the two-step cost of Section 3: with IP, a
+// transport PDU carried in fragments needs fragment→datagram
+// reassembly, and the stream then needs datagram→stream ordering —
+// one physical copy per step. Chunks do both in one step.
+func ReassemblySteps(stages int) string {
+	return fmt.Sprintf("ip: %d reassembly step(s) + 1 ordering step; chunks: 1 step total", stages)
+}

@@ -1,0 +1,239 @@
+package ipfrag
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func payload(n int, seed int64) []byte {
+	b := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(b)
+	return b
+}
+
+func TestSplitAndReassemble(t *testing.T) {
+	p := payload(1000, 1)
+	frags, err := Split(7, p, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 5 { // ceil(1000/244)
+		t.Fatalf("split into %d fragments", len(frags))
+	}
+	for i, f := range frags {
+		if f.More != (i < len(frags)-1) {
+			t.Fatalf("fragment %d MF = %v", i, f.More)
+		}
+		if len(f.Data)+HeaderSize > 256 {
+			t.Fatalf("fragment %d oversize", i)
+		}
+	}
+	r := NewReassembler(0)
+	for i, f := range frags {
+		out, err := r.Add(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (out != nil) != (i == len(frags)-1) {
+			t.Fatalf("completion at fragment %d", i)
+		}
+		if out != nil && !bytes.Equal(out, p) {
+			t.Fatal("reassembled payload differs")
+		}
+	}
+	if r.Pending() != 0 || r.Used() != 0 {
+		t.Fatal("reassembler must be empty after completion")
+	}
+}
+
+func TestSplitSmallPayload(t *testing.T) {
+	frags, err := Split(1, []byte{1, 2, 3}, 256)
+	if err != nil || len(frags) != 1 || frags[0].More {
+		t.Fatalf("small payload: %v %v", frags, err)
+	}
+	if _, err := Split(1, []byte{1}, HeaderSize); err != ErrTinyMTU {
+		t.Fatalf("tiny MTU: %v", err)
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	f := Fragment{ID: 9, Offset: 244, More: true, Data: []byte{1, 2, 3}}
+	b := f.AppendTo(nil)
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 9 || got.Offset != 244 || !got.More || !bytes.Equal(got.Data, f.Data) {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if _, err := Decode(b[:HeaderSize-1]); err != ErrShortBuffer {
+		t.Fatal("short header")
+	}
+	if _, err := Decode(b[:len(b)-1]); err != ErrShortBuffer {
+		t.Fatal("short data")
+	}
+}
+
+func TestReassembleDisordered(t *testing.T) {
+	p := payload(800, 2)
+	frags, _ := Split(3, p, 128)
+	rng := rand.New(rand.NewSource(9))
+	rng.Shuffle(len(frags), func(i, j int) { frags[i], frags[j] = frags[j], frags[i] })
+	r := NewReassembler(0)
+	var got []byte
+	for _, f := range frags {
+		out, err := r.Add(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != nil {
+			got = out
+		}
+	}
+	if !bytes.Equal(got, p) {
+		t.Fatal("disordered reassembly failed")
+	}
+}
+
+func TestReassembleDuplicates(t *testing.T) {
+	p := payload(300, 3)
+	frags, _ := Split(4, p, 128)
+	r := NewReassembler(0)
+	_, _ = r.Add(frags[0])
+	_, _ = r.Add(frags[0]) // duplicate must not double-count occupancy
+	used := r.Used()
+	if used != len(frags[0].Data) {
+		t.Fatalf("Used = %d, want %d", used, len(frags[0].Data))
+	}
+	for _, f := range frags[1:] {
+		if out, _ := r.Add(f); out != nil && !bytes.Equal(out, p) {
+			t.Fatal("payload mismatch")
+		}
+	}
+}
+
+// TestMultiStageRefragmentation: an internet path that fragments twice
+// (two MTU reductions). IP still reassembles because offsets are
+// byte-based, but ALL fragments buffer at the receiver until the
+// whole datagram is in — contrast with chunk immediate processing.
+func TestMultiStageRefragmentation(t *testing.T) {
+	p := payload(2000, 4)
+	stage1, _ := Split(5, p, 512)
+	var stage2 []Fragment
+	for _, f := range stage1 {
+		refs, err := Refragment(f, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stage2 = append(stage2, refs...)
+	}
+	if len(stage2) <= len(stage1) {
+		t.Fatal("second stage must increase fragment count")
+	}
+	r := NewReassembler(0)
+	var got []byte
+	for _, f := range stage2 {
+		out, err := r.Add(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != nil {
+			got = out
+		}
+	}
+	if !bytes.Equal(got, p) {
+		t.Fatal("two-stage reassembly failed")
+	}
+}
+
+func TestRefragmentPassThrough(t *testing.T) {
+	f := Fragment{ID: 1, Offset: 0, Data: []byte{1, 2}}
+	out, err := Refragment(f, 128)
+	if err != nil || len(out) != 1 {
+		t.Fatalf("small fragment: %v %v", out, err)
+	}
+	if _, err := Refragment(Fragment{Data: payload(100, 5)}, HeaderSize); err != ErrTinyMTU {
+		t.Fatal("tiny MTU")
+	}
+}
+
+// TestBufferLockup (experiment P4): interleave fragments of many
+// datagrams, none completable, until the buffer fills — the Section
+// 3.3 lock-up. Then show Evict breaks the deadlock at the cost of
+// whole datagrams.
+func TestBufferLockup(t *testing.T) {
+	const capacity = 1024
+	r := NewReassembler(capacity)
+	// First fragment (of 2) from many datagrams; none can complete.
+	id := uint32(0)
+	for {
+		f := Fragment{ID: id, Offset: 0, More: true, Data: payload(128, int64(id))}
+		_, err := r.Add(f)
+		if err == ErrBufferFull {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		id++
+		if id > 100 {
+			t.Fatal("buffer never filled")
+		}
+	}
+	if !r.LockedUp() {
+		t.Fatal("reassembler must report lock-up")
+	}
+	before := r.Pending()
+	victim, ok := r.Evict()
+	if !ok || r.Pending() != before-1 {
+		t.Fatal("evict must discard one datagram")
+	}
+	if r.LockedUp() {
+		t.Fatal("evict must free space")
+	}
+	// The evicted datagram's tail now completes nothing: its data is
+	// gone (loss amplification).
+	tail := Fragment{ID: victim, Offset: 128, More: false, Data: payload(8, 99)}
+	out, err := r.Add(tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		t.Fatal("evicted datagram must not complete")
+	}
+}
+
+func TestEvictEmpty(t *testing.T) {
+	r := NewReassembler(10)
+	if _, ok := r.Evict(); ok {
+		t.Fatal("nothing to evict")
+	}
+}
+
+func TestReassemblySteps(t *testing.T) {
+	if s := ReassemblySteps(2); len(s) == 0 {
+		t.Fatal("empty description")
+	}
+}
+
+func BenchmarkReassemble64K(b *testing.B) {
+	p := payload(64*1024, 1)
+	frags, _ := Split(1, p, 1400)
+	b.SetBytes(int64(len(p)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewReassembler(0)
+		var out []byte
+		for _, f := range frags {
+			if o, err := r.Add(f); err != nil {
+				b.Fatal(err)
+			} else if o != nil {
+				out = o
+			}
+		}
+		if out == nil {
+			b.Fatal("no datagram")
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package mux_test
+
+import (
+	"fmt"
+
+	"chunks/internal/chunk"
+	"chunks/internal/mux"
+	"chunks/internal/transport"
+)
+
+// Example shows Appendix A's multi-connection packing: two
+// connections' data and a third connection's acknowledgment share one
+// packet, and the demultiplexer routes each chunk home by C.ID.
+func Example() {
+	mk := func(cid uint32, b byte) chunk.Chunk {
+		return chunk.Chunk{
+			Type: chunk.TypeData, Size: 1, Len: 2,
+			C: chunk.Tuple{ID: cid}, T: chunk.Tuple{ID: 1, ST: true}, X: chunk.Tuple{ID: 1},
+			Payload: []byte{b, b},
+		}
+	}
+	m := mux.NewMux(1400)
+	m.Enqueue(mk(1, 'a'), mk(2, 'b'), transport.Ack(3, 42))
+	datagrams, _ := m.Flush()
+	fmt.Println("packets:", len(datagrams))
+
+	d := mux.NewDemux()
+	for _, cid := range []uint32{1, 2, 3} {
+		cid := cid
+		d.Register(cid, func(c *chunk.Chunk) error {
+			fmt.Printf("conn %d got %v\n", cid, c.Type)
+			return nil
+		})
+	}
+	_ = d.HandlePacket(datagrams[0])
+	// Output:
+	// packets: 1
+	// conn 1 got D
+	// conn 2 got D
+	// conn 3 got ACK
+}

@@ -1,0 +1,107 @@
+// Package mux implements the multi-connection packing of Appendix A:
+// "packets that carry chunks from multiple connections. Data,
+// signaling information, and acknowledgments can be combined in any
+// combination. Notice that this allows an error detection system that
+// utilizes chunks to achieve the efficiency associated with the
+// piggybacking of acknowledgments without requiring the explicit
+// design of piggybacking into the error control protocol."
+//
+// A Mux gathers chunks from any number of connections into shared
+// MTU-bounded packets; a Demux routes received chunks back to
+// per-connection handlers by C.ID. Neither knows anything about the
+// chunks' semantics — the modularity the paper claims.
+package mux
+
+import (
+	"errors"
+
+	"chunks/internal/chunk"
+	"chunks/internal/packet"
+)
+
+// ErrNoHandler reports a chunk whose C.ID has no registered handler
+// and no default was installed.
+var ErrNoHandler = errors.New("mux: no handler for connection")
+
+// A Mux combines chunks from many sources into shared packets.
+type Mux struct {
+	pk      packet.Packer
+	pending []chunk.Chunk
+}
+
+// NewMux returns a Mux producing packets of at most mtu bytes.
+func NewMux(mtu int) *Mux {
+	return &Mux{pk: packet.Packer{MTU: mtu}}
+}
+
+// Enqueue adds chunks (from any connection, of any type) to the next
+// flush. Chunks too large for one packet will be split at flush time.
+func (m *Mux) Enqueue(chs ...chunk.Chunk) {
+	m.pending = append(m.pending, chs...)
+}
+
+// Pending returns the number of queued chunks.
+func (m *Mux) Pending() int { return len(m.pending) }
+
+// Flush packs everything queued into datagrams and clears the queue.
+func (m *Mux) Flush() ([][]byte, error) {
+	if len(m.pending) == 0 {
+		return nil, nil
+	}
+	out, err := m.pk.Encode(m.pending)
+	if err != nil {
+		return nil, err
+	}
+	m.pending = m.pending[:0]
+	return out, nil
+}
+
+// A Demux routes received chunks to per-connection handlers by C.ID.
+// Handlers receive chunks whose payloads alias the packet buffer;
+// they must Clone anything they retain.
+type Demux struct {
+	handlers map[uint32]func(*chunk.Chunk) error
+	fallback func(*chunk.Chunk) error
+
+	// Packets and Chunks count traffic for efficiency accounting.
+	Packets int
+	Chunks  int
+}
+
+// NewDemux returns an empty Demux.
+func NewDemux() *Demux {
+	return &Demux{handlers: make(map[uint32]func(*chunk.Chunk) error)}
+}
+
+// Register installs the handler for one connection ID.
+func (d *Demux) Register(cid uint32, h func(*chunk.Chunk) error) {
+	d.handlers[cid] = h
+}
+
+// Default installs a handler for chunks of unknown connections
+// (e.g. to count strays or feed a connection-setup path).
+func (d *Demux) Default(h func(*chunk.Chunk) error) { d.fallback = h }
+
+// HandlePacket decodes one datagram and dispatches each chunk.
+func (d *Demux) HandlePacket(b []byte) error {
+	p, err := packet.Decode(b)
+	if err != nil {
+		return err
+	}
+	d.Packets++
+	for i := range p.Chunks {
+		d.Chunks++
+		c := &p.Chunks[i]
+		h := d.handlers[c.C.ID]
+		if h == nil {
+			h = d.fallback
+		}
+		if h == nil {
+			return ErrNoHandler
+		}
+		if err := h(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package mux
+
+import (
+	"testing"
+
+	"chunks/internal/chunk"
+	"chunks/internal/errdet"
+	"chunks/internal/trace"
+	"chunks/internal/transport"
+)
+
+// TestTwoConnectionsShareAPacket: chunks of two connections plus a
+// piggybacked ACK travel in ONE packet and demux cleanly.
+func TestTwoConnectionsShareAPacket(t *testing.T) {
+	a := chunk.Chunk{Type: chunk.TypeData, Size: 1, Len: 4,
+		C: chunk.Tuple{ID: 1, SN: 0}, T: chunk.Tuple{ID: 1, ST: true},
+		X: chunk.Tuple{ID: 1, ST: true}, Payload: []byte{1, 2, 3, 4}}
+	b := chunk.Chunk{Type: chunk.TypeData, Size: 1, Len: 4,
+		C: chunk.Tuple{ID: 2, SN: 0}, T: chunk.Tuple{ID: 1, ST: true},
+		X: chunk.Tuple{ID: 1, ST: true}, Payload: []byte{5, 6, 7, 8}}
+	ack := transport.Ack(3, 42) // a third connection's acknowledgment
+
+	m := NewMux(1400)
+	m.Enqueue(a, b, ack)
+	datagrams, err := m.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(datagrams) != 1 {
+		t.Fatalf("want 1 shared packet, got %d", len(datagrams))
+	}
+	if m.Pending() != 0 {
+		t.Fatal("flush must clear the queue")
+	}
+
+	got := map[uint32]int{}
+	d := NewDemux()
+	for _, cid := range []uint32{1, 2, 3} {
+		cid := cid
+		d.Register(cid, func(c *chunk.Chunk) error {
+			got[cid]++
+			return nil
+		})
+	}
+	if err := d.HandlePacket(datagrams[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got[1] != 1 || got[2] != 1 || got[3] != 1 {
+		t.Fatalf("dispatch counts: %v", got)
+	}
+	if d.Packets != 1 || d.Chunks != 3 {
+		t.Fatalf("accounting: %d packets %d chunks", d.Packets, d.Chunks)
+	}
+}
+
+func TestDemuxUnknownConnection(t *testing.T) {
+	c := chunk.Chunk{Type: chunk.TypeData, Size: 1, Len: 1,
+		C: chunk.Tuple{ID: 9}, Payload: []byte{1}}
+	m := NewMux(256)
+	m.Enqueue(c)
+	datagrams, _ := m.Flush()
+
+	d := NewDemux()
+	if err := d.HandlePacket(datagrams[0]); err != ErrNoHandler {
+		t.Fatalf("want ErrNoHandler, got %v", err)
+	}
+	strays := 0
+	d.Default(func(*chunk.Chunk) error { strays++; return nil })
+	if err := d.HandlePacket(datagrams[0]); err != nil {
+		t.Fatal(err)
+	}
+	if strays != 1 {
+		t.Fatal("default handler must see the stray")
+	}
+}
+
+func TestDemuxBadPacket(t *testing.T) {
+	d := NewDemux()
+	if err := d.HandlePacket([]byte{1, 2, 3}); err == nil {
+		t.Fatal("garbage must fail")
+	}
+}
+
+func TestFlushEmpty(t *testing.T) {
+	m := NewMux(256)
+	out, err := m.Flush()
+	if err != nil || out != nil {
+		t.Fatalf("empty flush: %v %v", out, err)
+	}
+}
+
+// TestMuxedVerification: two full connections' workloads (data + ED
+// chunks) interleaved through one Mux; each connection's errdet
+// receiver verifies every TPDU. This is the end-to-end statement of
+// Appendix A's modularity point.
+func TestMuxedVerification(t *testing.T) {
+	w1, err := trace.Bulk(trace.BulkConfig{Seed: 1, Bytes: 8192, ElemSize: 4, TPDUElems: 128, CID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := trace.Bulk(trace.BulkConfig{Seed: 2, Bytes: 8192, ElemSize: 4, TPDUElems: 128, CID: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := NewMux(512)
+	c1, c2 := w1.All(), w2.All()
+	for i := 0; i < len(c1) || i < len(c2); i++ {
+		if i < len(c1) {
+			m.Enqueue(c1[i])
+		}
+		if i < len(c2) {
+			m.Enqueue(c2[i])
+		}
+	}
+	datagrams, err := m.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r1, _ := errdet.NewReceiver(errdet.DefaultLayout())
+	r2, _ := errdet.NewReceiver(errdet.DefaultLayout())
+	d := NewDemux()
+	d.Register(1, r1.Ingest)
+	d.Register(2, r2.Ingest)
+	for _, dg := range datagrams {
+		if err := d.HandlePacket(dg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range w1.Chunks {
+		if v := r1.Verdict(w1.Chunks[i].T.ID); v != errdet.VerdictOK {
+			t.Fatalf("conn 1 TPDU %d: %v", i, v)
+		}
+	}
+	for i := range w2.Chunks {
+		if v := r2.Verdict(w2.Chunks[i].T.ID); v != errdet.VerdictOK {
+			t.Fatalf("conn 2 TPDU %d: %v", i, v)
+		}
+	}
+
+	// Piggyback efficiency: shared packets must use fewer envelopes
+	// than flushing each connection separately.
+	sep := NewMux(512)
+	sep.Enqueue(c1...)
+	d1, _ := sep.Flush()
+	sep.Enqueue(c2...)
+	d2, _ := sep.Flush()
+	if len(datagrams) > len(d1)+len(d2) {
+		t.Fatalf("muxing used %d packets, separate %d", len(datagrams), len(d1)+len(d2))
+	}
+}

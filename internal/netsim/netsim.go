@@ -1,0 +1,176 @@
+// Package netsim is a deterministic network simulator standing in for
+// the paper's AURORA testbed substrate (see DESIGN.md, substitutions).
+// It reproduces exactly the disordering phenomena Section 1 enumerates:
+//
+//   - message loss (forcing retransmission-induced disorder),
+//   - packet disordering from multipath routing ("obtaining gigabit
+//     rates on a SONET OC-3 ATM network requires using eight 155 Mbps
+//     ATM connections in parallel. Skew among the routes can cause
+//     packets to leave the network in a different order than that in
+//     which they entered"),
+//   - route changes ("the first packet sent along the new route may
+//     arrive before the last packet sent along the old route"),
+//   - duplication and corruption.
+//
+// The simulator is offline and deterministic: a hop transforms a
+// time-stamped packet sequence into another, and a topology is a
+// chain of hops. No goroutines, no wall-clock time — experiments are
+// exactly reproducible from a seed.
+package netsim
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// A Delivery is one packet at a point in simulated time (ticks).
+type Delivery struct {
+	Tick int64
+	Data []byte
+	// Seq is the original send index, preserved so experiments can
+	// measure disorder.
+	Seq int
+}
+
+// A Hop transforms a packet sequence (sorted by Tick) into the
+// sequence observed at its far end (sorted by Tick).
+type Hop interface {
+	Transit(in []Delivery) []Delivery
+}
+
+// Run pushes sends through a chain of hops.
+func Run(sends []Delivery, hops ...Hop) []Delivery {
+	cur := sends
+	for _, h := range hops {
+		cur = h.Transit(cur)
+	}
+	return cur
+}
+
+// SendAll stamps packets with consecutive ticks spaced gap apart,
+// starting at start.
+func SendAll(packets [][]byte, start, gap int64) []Delivery {
+	out := make([]Delivery, len(packets))
+	for i, p := range packets {
+		out[i] = Delivery{Tick: start + int64(i)*gap, Data: p, Seq: i}
+	}
+	return out
+}
+
+// sortDeliveries orders by tick, breaking ties by send sequence so
+// results are stable and deterministic.
+func sortDeliveries(ds []Delivery) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		if ds[i].Tick != ds[j].Tick {
+			return ds[i].Tick < ds[j].Tick
+		}
+		return ds[i].Seq < ds[j].Seq
+	})
+}
+
+// LinkConfig parameterises one Link hop.
+type LinkConfig struct {
+	Seed int64
+	// LossProb is the per-packet drop probability.
+	LossProb float64
+	// DupProb is the per-packet duplication probability.
+	DupProb float64
+	// CorruptProb is the per-packet single-byte-flip probability.
+	CorruptProb float64
+	// Paths is the number of parallel routes; packets are sprayed
+	// round-robin. 0 or 1 means a single path.
+	Paths int
+	// BaseDelay is the path-0 latency in ticks.
+	BaseDelay int64
+	// SkewPerPath adds (path index)*SkewPerPath ticks to each further
+	// path — the multipath skew that disorders packets.
+	SkewPerPath int64
+	// JitterMax adds uniform [0, JitterMax] per-packet jitter.
+	JitterMax int64
+	// RouteChangeTick, when > 0, switches traffic sent at or after
+	// this tick onto a route with RouteChangeDelay base latency; a
+	// drop in latency makes new-route packets overtake old-route ones.
+	RouteChangeTick  int64
+	RouteChangeDelay int64
+}
+
+// A Link delivers packets with configurable loss, duplication,
+// corruption, multipath skew and route changes.
+type Link struct {
+	cfg LinkConfig
+}
+
+// NewLink returns a Link with the given behaviour.
+func NewLink(cfg LinkConfig) *Link { return &Link{cfg: cfg} }
+
+// Transit implements Hop.
+func (l *Link) Transit(in []Delivery) []Delivery {
+	rng := rand.New(rand.NewSource(l.cfg.Seed))
+	paths := l.cfg.Paths
+	if paths < 1 {
+		paths = 1
+	}
+	var out []Delivery
+	for i, d := range in {
+		if l.cfg.LossProb > 0 && rng.Float64() < l.cfg.LossProb {
+			continue
+		}
+		base := l.cfg.BaseDelay
+		if l.cfg.RouteChangeTick > 0 && d.Tick >= l.cfg.RouteChangeTick {
+			base = l.cfg.RouteChangeDelay
+		}
+		delay := base + int64(i%paths)*l.cfg.SkewPerPath
+		if l.cfg.JitterMax > 0 {
+			delay += rng.Int63n(l.cfg.JitterMax + 1)
+		}
+		data := d.Data
+		if l.cfg.CorruptProb > 0 && rng.Float64() < l.cfg.CorruptProb && len(data) > 0 {
+			data = append([]byte(nil), data...)
+			data[rng.Intn(len(data))] ^= 1 << uint(rng.Intn(8))
+		}
+		out = append(out, Delivery{Tick: d.Tick + delay, Data: data, Seq: d.Seq})
+		if l.cfg.DupProb > 0 && rng.Float64() < l.cfg.DupProb {
+			dup := delay + 1 + rng.Int63n(10)
+			out = append(out, Delivery{Tick: d.Tick + dup, Data: data, Seq: d.Seq})
+		}
+	}
+	sortDeliveries(out)
+	return out
+}
+
+// A Router applies a packet transformation at a network boundary —
+// the paper's gateway that empties chunks from one envelope size into
+// another (or an IP router fragmenting datagrams). Transform maps one
+// incoming packet to zero or more outgoing packets; ProcDelay models
+// per-packet processing ticks.
+type Router struct {
+	Transform func(data []byte) [][]byte
+	ProcDelay int64
+}
+
+// Transit implements Hop.
+func (r *Router) Transit(in []Delivery) []Delivery {
+	var out []Delivery
+	for _, d := range in {
+		for _, p := range r.Transform(d.Data) {
+			out = append(out, Delivery{Tick: d.Tick + r.ProcDelay, Data: p, Seq: d.Seq})
+		}
+	}
+	sortDeliveries(out)
+	return out
+}
+
+// Disorder measures how disordered a delivery sequence is: the
+// fraction of adjacent pairs whose original send order is inverted.
+func Disorder(ds []Delivery) float64 {
+	if len(ds) < 2 {
+		return 0
+	}
+	inv := 0
+	for i := 1; i < len(ds); i++ {
+		if ds[i].Seq < ds[i-1].Seq {
+			inv++
+		}
+	}
+	return float64(inv) / float64(len(ds)-1)
+}

@@ -1,0 +1,183 @@
+package netsim
+
+import (
+	"bytes"
+	"testing"
+)
+
+func packets(n, size int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = bytes.Repeat([]byte{byte(i)}, size)
+	}
+	return out
+}
+
+func TestSendAll(t *testing.T) {
+	sends := SendAll(packets(3, 4), 100, 10)
+	if sends[0].Tick != 100 || sends[2].Tick != 120 {
+		t.Fatalf("ticks: %v", sends)
+	}
+	if sends[1].Seq != 1 {
+		t.Fatal("Seq must track send order")
+	}
+}
+
+func TestPerfectLink(t *testing.T) {
+	l := NewLink(LinkConfig{Seed: 1, BaseDelay: 5})
+	out := l.Transit(SendAll(packets(10, 8), 0, 1))
+	if len(out) != 10 {
+		t.Fatalf("delivered %d", len(out))
+	}
+	for i, d := range out {
+		if d.Seq != i {
+			t.Fatal("perfect link must preserve order")
+		}
+		if d.Tick != int64(i)+5 {
+			t.Fatalf("delivery %d at tick %d", i, d.Tick)
+		}
+	}
+	if Disorder(out) != 0 {
+		t.Fatal("no disorder expected")
+	}
+}
+
+func TestLoss(t *testing.T) {
+	l := NewLink(LinkConfig{Seed: 2, LossProb: 0.5})
+	out := l.Transit(SendAll(packets(1000, 4), 0, 1))
+	if len(out) < 350 || len(out) > 650 {
+		t.Fatalf("loss 0.5 delivered %d of 1000", len(out))
+	}
+}
+
+func TestDuplication(t *testing.T) {
+	l := NewLink(LinkConfig{Seed: 3, DupProb: 1.0})
+	out := l.Transit(SendAll(packets(10, 4), 0, 100))
+	if len(out) != 20 {
+		t.Fatalf("dup 1.0 delivered %d of 10", len(out))
+	}
+}
+
+func TestCorruption(t *testing.T) {
+	l := NewLink(LinkConfig{Seed: 4, CorruptProb: 1.0})
+	in := SendAll(packets(10, 16), 0, 1)
+	out := l.Transit(in)
+	corrupted := 0
+	for i, d := range out {
+		if !bytes.Equal(d.Data, in[i].Data) {
+			corrupted++
+		}
+	}
+	if corrupted != 10 {
+		t.Fatalf("corrupted %d of 10", corrupted)
+	}
+	// Input buffers must not be mutated.
+	if in[0].Data[0] != 0 {
+		t.Fatal("corruption must copy, not mutate the sender's buffer")
+	}
+}
+
+// TestMultipathSkew reproduces the paper's 8-parallel-ATM-connections
+// scenario: skew between paths disorders the delivery sequence.
+func TestMultipathSkew(t *testing.T) {
+	l := NewLink(LinkConfig{Seed: 5, Paths: 8, BaseDelay: 100, SkewPerPath: 40})
+	out := l.Transit(SendAll(packets(400, 4), 0, 1))
+	if len(out) != 400 {
+		t.Fatal("skew must not lose packets")
+	}
+	if Disorder(out) == 0 {
+		t.Fatal("multipath skew must disorder deliveries")
+	}
+	// All packets still arrive.
+	seen := make(map[int]bool)
+	for _, d := range out {
+		seen[d.Seq] = true
+	}
+	if len(seen) != 400 {
+		t.Fatal("every packet must arrive exactly once")
+	}
+}
+
+// TestRouteChange: a route change to a faster path lets later packets
+// overtake earlier ones — the second disordering cause of Section 1.
+func TestRouteChange(t *testing.T) {
+	l := NewLink(LinkConfig{
+		Seed: 6, BaseDelay: 1000,
+		RouteChangeTick: 50, RouteChangeDelay: 10,
+	})
+	out := l.Transit(SendAll(packets(100, 4), 0, 1))
+	if Disorder(out) == 0 {
+		t.Fatal("route change must cause overtaking")
+	}
+	// The first new-route packet (seq 50) must arrive before the last
+	// old-route packet (seq 49).
+	pos := map[int]int{}
+	for i, d := range out {
+		pos[d.Seq] = i
+	}
+	if pos[50] > pos[49] {
+		t.Fatal("new-route packet should overtake old-route packet")
+	}
+}
+
+func TestRouterTransform(t *testing.T) {
+	// A router that splits every packet in half.
+	r := &Router{
+		Transform: func(b []byte) [][]byte {
+			mid := len(b) / 2
+			return [][]byte{b[:mid], b[mid:]}
+		},
+		ProcDelay: 3,
+	}
+	out := r.Transit(SendAll(packets(5, 8), 0, 10))
+	if len(out) != 10 {
+		t.Fatalf("router emitted %d packets", len(out))
+	}
+	if out[0].Tick != 3 {
+		t.Fatalf("processing delay not applied: tick %d", out[0].Tick)
+	}
+}
+
+func TestRouterDrop(t *testing.T) {
+	r := &Router{Transform: func(b []byte) [][]byte { return nil }}
+	if out := r.Transit(SendAll(packets(5, 8), 0, 1)); len(out) != 0 {
+		t.Fatal("drop-all router must emit nothing")
+	}
+}
+
+func TestRunChain(t *testing.T) {
+	l1 := NewLink(LinkConfig{Seed: 7, BaseDelay: 10})
+	r := &Router{Transform: func(b []byte) [][]byte { return [][]byte{b} }, ProcDelay: 5}
+	l2 := NewLink(LinkConfig{Seed: 8, BaseDelay: 20})
+	out := Run(SendAll(packets(4, 4), 0, 1), l1, r, l2)
+	if len(out) != 4 {
+		t.Fatalf("chain delivered %d", len(out))
+	}
+	if out[0].Tick != 35 {
+		t.Fatalf("cumulative delay = %d, want 35", out[0].Tick)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := LinkConfig{Seed: 42, LossProb: 0.2, DupProb: 0.1, Paths: 4, SkewPerPath: 7, JitterMax: 3}
+	a := NewLink(cfg).Transit(SendAll(packets(100, 8), 0, 1))
+	b := NewLink(cfg).Transit(SendAll(packets(100, 8), 0, 1))
+	if len(a) != len(b) {
+		t.Fatal("same seed must give same deliveries")
+	}
+	for i := range a {
+		if a[i].Tick != b[i].Tick || a[i].Seq != b[i].Seq || !bytes.Equal(a[i].Data, b[i].Data) {
+			t.Fatal("same seed must give identical traces")
+		}
+	}
+}
+
+func TestDisorderMeasure(t *testing.T) {
+	ds := []Delivery{{Seq: 0}, {Seq: 2}, {Seq: 1}, {Seq: 3}}
+	if got := Disorder(ds); got != 1.0/3.0 {
+		t.Fatalf("Disorder = %v", got)
+	}
+	if Disorder(nil) != 0 || Disorder(ds[:1]) != 0 {
+		t.Fatal("degenerate sequences have zero disorder")
+	}
+}

@@ -1,0 +1,37 @@
+package packet_test
+
+import (
+	"fmt"
+
+	"chunks/internal/chunk"
+	"chunks/internal/packet"
+)
+
+// Example shows packets as envelopes: pack chunks into MTU-bounded
+// datagrams (splitting oversize chunks at element boundaries), move
+// them to a network with a smaller MTU, and verify the repacked
+// contents reassemble to the originals.
+func Example() {
+	big := chunk.Chunk{
+		Type: chunk.TypeData, Size: 4, Len: 200,
+		C: chunk.Tuple{ID: 1}, T: chunk.Tuple{ID: 9, ST: true}, X: chunk.Tuple{ID: 1},
+		Payload: make([]byte, 800),
+	}
+	src := packet.Packer{MTU: 512}
+	pkts, _ := src.Pack([]chunk.Chunk{big})
+	fmt.Println("packets at MTU 512:", len(pkts))
+
+	small, _ := packet.Repack(pkts, 128, packet.Combine)
+	fmt.Println("packets at MTU 128:", len(small))
+
+	var chs []chunk.Chunk
+	for _, p := range small {
+		chs = append(chs, p.Chunks...)
+	}
+	merged := chunk.MergeAll(chs)
+	fmt.Println("one-step reassembly:", len(merged) == 1 && merged[0].Equal(&big))
+	// Output:
+	// packets at MTU 512: 2
+	// packets at MTU 128: 11
+	// one-step reassembly: true
+}

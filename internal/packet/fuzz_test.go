@@ -1,0 +1,95 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"chunks/internal/chunk"
+)
+
+func TestDecodeArbitraryBytes(t *testing.T) {
+	f := func(b []byte) bool {
+		p, err := Decode(b)
+		if err != nil {
+			return true
+		}
+		for i := range p.Chunks {
+			if p.Chunks[i].Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func FuzzDecode(f *testing.F) {
+	p := Packet{Chunks: []chunk.Chunk{dataChunk(0, 0, 0, 4, true)}}
+	compact, _ := p.AppendTo(nil, 0)
+	padded, _ := p.AppendTo(nil, 128)
+	f.Add(compact)
+	f.Add(padded)
+	f.Add([]byte{Magic, Version, 0, 4})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		p, err := Decode(b)
+		if err != nil {
+			return
+		}
+		// Every decoded chunk must be structurally valid and
+		// re-encodable into a decodable packet.
+		re, err := p.AppendTo(nil, 0)
+		if err != nil {
+			if err == ErrBadLength {
+				return // packet larger than 64 KiB after re-encode
+			}
+			t.Fatalf("re-encode: %v", err)
+		}
+		q, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if len(q.Chunks) != len(p.Chunks) {
+			t.Fatalf("chunk count changed: %d -> %d", len(p.Chunks), len(q.Chunks))
+		}
+	})
+}
+
+// TestPackerNeverExceedsMTU is the safety property of the Packer for
+// arbitrary chunk populations.
+func TestPackerNeverExceedsMTU(t *testing.T) {
+	f := func(sizes []uint16, mtu uint16) bool {
+		m := 200 + int(mtu)%1400
+		pk := Packer{MTU: m}
+		var chs []chunk.Chunk
+		for i, s := range sizes {
+			if len(chs) > 24 {
+				break
+			}
+			n := 1 + int(s)%200
+			chs = append(chs, dataChunk(uint64(i*200), uint64(i*200), uint64(i*200), n, false))
+		}
+		pkts, err := pk.Pack(chs)
+		if err != nil {
+			return true
+		}
+		total := 0
+		for _, p := range pkts {
+			if p.EncodedLen() > m {
+				return false
+			}
+			for _, c := range p.Chunks {
+				total += c.Elems()
+			}
+		}
+		want := 0
+		for _, c := range chs {
+			want += c.Elems()
+		}
+		return total == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,98 @@
+package packet
+
+import "chunks/internal/chunk"
+
+// A Packer maps a chunk stream onto MTU-bounded packets — the
+// transmit-side half of "packets are envelopes". It combines as many
+// whole chunks as fit (Section 2: "If chunks are smaller than a
+// packet, then as many chunks as fit can be placed in a single
+// packet") and splits chunks that are individually too large using the
+// Appendix C algorithm.
+type Packer struct {
+	// MTU is the maximum encoded packet size in bytes, header
+	// included.
+	MTU int
+	// Pad, when true, pads every packet to exactly MTU bytes
+	// (fixed-cell networks). Padding implies the terminator-chunk
+	// convention on the wire.
+	Pad bool
+}
+
+// budget returns the chunk-byte capacity of one packet.
+func (pk *Packer) budget() int { return pk.MTU - HeaderSize }
+
+// Pack distributes chs into packets. Chunk order is preserved; chunks
+// too large for one packet are split at element boundaries. An error
+// is returned only if the MTU cannot hold even a single-element chunk
+// or a control chunk (control is indivisible).
+func (pk *Packer) Pack(chs []chunk.Chunk) ([]Packet, error) {
+	if pk.budget() <= chunk.HeaderSize {
+		return nil, ErrTinyMTU
+	}
+	var out []Packet
+	var cur Packet
+	used := 0
+
+	flush := func() {
+		if len(cur.Chunks) > 0 {
+			out = append(out, cur)
+			cur = Packet{}
+			used = 0
+		}
+	}
+
+	for i := range chs {
+		pieces, err := chs[i].SplitToFit(pk.budget())
+		if err != nil {
+			return nil, err
+		}
+		for _, pc := range pieces {
+			n := pc.EncodedLen()
+			if used+n > pk.budget() {
+				flush()
+			}
+			cur.Chunks = append(cur.Chunks, pc)
+			used += n
+		}
+	}
+	flush()
+	return out, nil
+}
+
+// Encode packs and serialises in one step, returning raw datagrams.
+func (pk *Packer) Encode(chs []chunk.Chunk) ([][]byte, error) {
+	pkts, err := pk.Pack(chs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(pkts))
+	pad := 0
+	if pk.Pad {
+		pad = pk.MTU
+	}
+	for i := range pkts {
+		b, err := pkts[i].AppendTo(nil, pad)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+// Unpack decodes raw datagrams back into a flat chunk slice; the
+// receive-side inverse of Encode. Chunk payloads are cloned so the
+// caller may recycle the datagram buffers.
+func Unpack(datagrams [][]byte) ([]chunk.Chunk, error) {
+	var out []chunk.Chunk
+	for _, d := range datagrams {
+		p, err := Decode(d)
+		if err != nil {
+			return nil, err
+		}
+		for i := range p.Chunks {
+			out = append(out, p.Chunks[i].Clone())
+		}
+	}
+	return out, nil
+}

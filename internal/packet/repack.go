@@ -1,0 +1,85 @@
+package packet
+
+import "chunks/internal/chunk"
+
+// Repacking strategies of Figure 4: "When moving chunks from small
+// packets to large packets, we have the three choices ... With chunks,
+// all three options are possible, and the specific choice is left to
+// the implementor." A gateway between networks of different MTUs
+// empties chunks out of one envelope size and places them in another;
+// fragmentation and reassembly in the network are completely
+// transparent to the receiver.
+
+// Strategy selects a Figure 4 repacking method.
+type Strategy int
+
+const (
+	// OnePerPacket puts one incoming chunk in each outgoing packet
+	// (Figure 4 method 1). Simplest, wastes bandwidth.
+	OnePerPacket Strategy = iota
+	// Combine packs multiple chunks per outgoing packet without
+	// merging them (method 2) — "simpler than and almost as efficient
+	// as chunk reassembly".
+	Combine
+	// Reassemble first merges adjacent chunks (Appendix D) and then
+	// packs the merged chunks (method 3). Fewest header bytes, most
+	// gateway work.
+	Reassemble
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case OnePerPacket:
+		return "one-per-packet"
+	case Combine:
+		return "combine"
+	case Reassemble:
+		return "reassemble"
+	}
+	return "unknown"
+}
+
+// Repack moves the chunks of the incoming packets into new envelopes
+// of the given MTU using the chosen strategy. Chunks still too large
+// for the outgoing MTU are split (the small→large and large→small
+// directions are handled uniformly; splitting is how method "fragment"
+// of Figure 4's top row happens).
+func Repack(in []Packet, mtu int, s Strategy) ([]Packet, error) {
+	var chs []chunk.Chunk
+	for i := range in {
+		chs = append(chs, in[i].Chunks...)
+	}
+	switch s {
+	case Reassemble:
+		chs = chunk.MergeAll(chs)
+	case OnePerPacket:
+		pk := Packer{MTU: mtu}
+		var out []Packet
+		for i := range chs {
+			pkts, err := pk.Pack(chs[i : i+1])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pkts...)
+		}
+		return out, nil
+	}
+	pk := Packer{MTU: mtu}
+	return pk.Pack(chs)
+}
+
+// Overhead reports the total wire bytes and the header bytes (packet
+// envelopes plus chunk headers) of a packet sequence — the accounting
+// behind the P7 bandwidth-efficiency experiment.
+func Overhead(pkts []Packet) (wire, header, payload int) {
+	for i := range pkts {
+		wire += pkts[i].EncodedLen()
+		header += HeaderSize
+		for j := range pkts[i].Chunks {
+			header += chunk.HeaderSize
+			payload += len(pkts[i].Chunks[j].Payload)
+		}
+	}
+	return wire, header, payload
+}

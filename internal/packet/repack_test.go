@@ -1,0 +1,212 @@
+package packet
+
+import (
+	"testing"
+
+	"chunks/internal/chunk"
+	"chunks/internal/wsc"
+)
+
+// TestFigure3SplitAndPack (experiment F3) walks the exact scenario of
+// Figure 3: the TPDU-Q data chunk of Figure 2 (LEN=7, C.SN=36, T.SN=0,
+// X.SN=24, T.ST=1) is split into two chunks — (SN 36/0/24, LEN 4, no
+// ST) and (SN 40/4/28, LEN 3, T.ST=1) — and the second is packed
+// together with the TPDU's ED control chunk into one packet.
+func TestFigure3SplitAndPack(t *testing.T) {
+	data := chunk.Chunk{
+		Type: chunk.TypeData, Size: 1, Len: 7,
+		C:       chunk.Tuple{ID: 0xA, SN: 36},
+		T:       chunk.Tuple{ID: 0xF1, SN: 0, ST: true},
+		X:       chunk.Tuple{ID: 0xC, SN: 24},
+		Payload: []byte{1, 2, 3, 4, 5, 6, 7},
+	}
+	first, second, err := data.Split(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Len != 4 || first.C.SN != 36 || first.T.SN != 0 || first.X.SN != 24 {
+		t.Fatalf("first split chunk: %v", &first)
+	}
+	if first.C.ST || first.T.ST || first.X.ST {
+		t.Fatal("first split chunk must have no ST bits (Figure 3: ST 000)")
+	}
+	if second.Len != 3 || second.C.SN != 40 || second.T.SN != 4 || second.X.SN != 28 {
+		t.Fatalf("second split chunk: %v (Figure 3 says SN 40 4 28)", &second)
+	}
+	if second.C.ST || !second.T.ST || second.X.ST {
+		t.Fatal("second split chunk ST must be 010 (Figure 3)")
+	}
+
+	// The ED chunk carries the TPDU's WSC-2 parity and shares the
+	// TPDU identity (C.ID=A, T.ID=Q, TYPE=ED).
+	par, _ := wsc.EncodeBytes([]byte{0, 0, 0, 42})
+	ed := chunk.Chunk{
+		Type: chunk.TypeED, Size: wsc.ParitySize, Len: 1,
+		C:       chunk.Tuple{ID: 0xA, SN: 36},
+		T:       chunk.Tuple{ID: 0xF1, SN: 0},
+		X:       chunk.Tuple{ID: 0xC, SN: 24},
+		Payload: par.AppendBinary(nil),
+	}
+
+	// Packet 1: first data chunk. Packet 2: second data chunk + ED.
+	p1 := Packet{Chunks: []chunk.Chunk{first}}
+	p2 := Packet{Chunks: []chunk.Chunk{second, ed}}
+	for i, p := range []Packet{p1, p2} {
+		b, err := p.AppendTo(nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatalf("packet %d: %v", i+1, err)
+		}
+		if len(got.Chunks) != len(p.Chunks) {
+			t.Fatalf("packet %d decoded %d chunks", i+1, len(got.Chunks))
+		}
+	}
+
+	// "The chunks are removed from the packet and processed
+	// separately at the receiver": reassembling only the data chunks
+	// recovers the original TPDU chunk.
+	merged := chunk.MergeAll([]chunk.Chunk{second, first})
+	if len(merged) != 1 || !merged[0].Equal(&data) {
+		t.Fatal("receiver-side reassembly must recover the Figure 2 chunk")
+	}
+}
+
+// TestFigure4Internetworking (experiment F4) drives chunks through the
+// MTU changes of Figure 4: large packets fragmented into small ones,
+// then moved back to a large-MTU network under each of the three
+// methods. Whatever the gateway does must be invisible to the
+// receiver.
+func TestFigure4Internetworking(t *testing.T) {
+	var chs []chunk.Chunk
+	csn := uint64(0)
+	for i := 0; i < 4; i++ {
+		c := dataChunk(csn, 0, csn, 300, true)
+		c.T.ID = uint32(i)
+		chs = append(chs, c)
+		csn += 300
+	}
+	want := chunk.MergeAll(chs)
+
+	// Source network: MTU 512.
+	src := Packer{MTU: 512}
+	large, err := src.Pack(chs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Transit network: MTU 128 — every chunk gets fragmented.
+	small, err := Repack(large, 128, Combine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range small {
+		if p.EncodedLen() > 128 {
+			t.Fatal("transit packet exceeds MTU")
+		}
+	}
+
+	// Destination network: MTU 1024, all three Figure 4 methods.
+	for _, s := range []Strategy{OnePerPacket, Combine, Reassemble} {
+		out, err := Repack(small, 1024, s)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		var got []chunk.Chunk
+		for _, p := range out {
+			got = append(got, p.Chunks...)
+		}
+		merged := chunk.MergeAll(got)
+		if len(merged) != len(want) {
+			t.Fatalf("%v: %d merged chunks, want %d", s, len(merged), len(want))
+		}
+		for i := range merged {
+			if !merged[i].Equal(&want[i]) {
+				t.Fatalf("%v: chunk %d differs after gateway transit", s, i)
+			}
+		}
+	}
+}
+
+// TestRepackEfficiencyOrdering verifies the paper's qualitative
+// ranking: reassembly ≤ combining ≤ one-per-packet in total wire
+// bytes, with combining "almost as efficient as chunk reassembly".
+func TestRepackEfficiencyOrdering(t *testing.T) {
+	var chs []chunk.Chunk
+	for i := 0; i < 8; i++ {
+		chs = append(chs, dataChunk(uint64(i*50), uint64(i*50), uint64(i*50), 50, false))
+	}
+	small := Packer{MTU: 128}
+	smallPkts, err := small.Pack(chs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wireOf := func(s Strategy) int {
+		out, err := Repack(smallPkts, 2048, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wire, _, payload := Overhead(out)
+		if payload != 8*50 {
+			t.Fatalf("%v lost payload: %d", s, payload)
+		}
+		return wire
+	}
+
+	one, comb, reasm := wireOf(OnePerPacket), wireOf(Combine), wireOf(Reassemble)
+	if !(reasm <= comb && comb <= one) {
+		t.Fatalf("efficiency ordering violated: reassemble=%d combine=%d one-per-packet=%d", reasm, comb, one)
+	}
+	if reasm == one {
+		t.Fatal("reassembly should beat one-per-packet on this workload")
+	}
+}
+
+func TestOverheadAccounting(t *testing.T) {
+	p := Packet{Chunks: []chunk.Chunk{dataChunk(0, 0, 0, 10, false)}}
+	wire, header, payload := Overhead([]Packet{p})
+	if payload != 10 {
+		t.Fatalf("payload = %d", payload)
+	}
+	if header != HeaderSize+chunk.HeaderSize {
+		t.Fatalf("header = %d", header)
+	}
+	if wire != header+payload {
+		t.Fatalf("wire = %d, header+payload = %d", wire, header+payload)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	for s, want := range map[Strategy]string{
+		OnePerPacket: "one-per-packet", Combine: "combine",
+		Reassemble: "reassemble", Strategy(9): "unknown",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+}
+
+func BenchmarkRepackStrategies(b *testing.B) {
+	var chs []chunk.Chunk
+	for i := 0; i < 32; i++ {
+		chs = append(chs, dataChunk(uint64(i*64), uint64(i*64), uint64(i*64), 64, false))
+	}
+	small := Packer{MTU: 96}
+	smallPkts, err := small.Pack(chs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, s := range []Strategy{OnePerPacket, Combine, Reassemble} {
+		b.Run(s.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Repack(smallPkts, 1500, s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,137 @@
+package protomodel
+
+import (
+	"errors"
+)
+
+// HDLC-family model (Appendix B): "The basic HDLC frame is delimited
+// by flags, and the error detection code is found by its position in
+// the frame; thus TYPE, T.ID, T.SN, and T.ST are implicit." This
+// model implements flag delimiting with control-octet transparency
+// (byte stuffing) and a CCITT FCS-16 trailer — enough to demonstrate
+// that all framing is positional/in-stream, so the receiver is
+// fundamentally a sequential scanner: disordered delivery destroys
+// frames.
+
+const (
+	hdlcFlag = 0x7E
+	hdlcEsc  = 0x7D
+	hdlcXor  = 0x20
+)
+
+// ErrHDLCFCS reports a frame failing its FCS.
+var ErrHDLCFCS = errors.New("protomodel: hdlc FCS mismatch")
+
+// fcs16 computes the CCITT CRC-16 (X.25 FCS) of data.
+func fcs16(data []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range data {
+		crc ^= uint16(b)
+		for i := 0; i < 8; i++ {
+			if crc&1 != 0 {
+				crc = crc>>1 ^ 0x8408
+			} else {
+				crc >>= 1
+			}
+		}
+	}
+	return ^crc
+}
+
+// HDLCFrame encodes one frame: FLAG, stuffed(payload+FCS), FLAG.
+func HDLCFrame(payload []byte) []byte {
+	fcs := fcs16(payload)
+	body := append(append([]byte{}, payload...), byte(fcs), byte(fcs>>8))
+	out := []byte{hdlcFlag}
+	for _, b := range body {
+		if b == hdlcFlag || b == hdlcEsc {
+			out = append(out, hdlcEsc, b^hdlcXor)
+		} else {
+			out = append(out, b)
+		}
+	}
+	return append(out, hdlcFlag)
+}
+
+// HDLCScanner decodes a byte stream into frames. It is strictly
+// sequential: framing lives IN the stream, so there is no way to hand
+// it bytes out of order.
+type HDLCScanner struct {
+	buf     []byte
+	inFrame bool
+	esc     bool
+}
+
+// Feed consumes stream bytes and returns completed, FCS-verified
+// frames; frames failing the FCS are counted in bad.
+func (s *HDLCScanner) Feed(stream []byte) (frames [][]byte, bad int) {
+	for _, b := range stream {
+		if b == hdlcFlag {
+			if s.inFrame && len(s.buf) > 0 {
+				if len(s.buf) >= 2 {
+					n := len(s.buf) - 2
+					want := uint16(s.buf[n]) | uint16(s.buf[n+1])<<8
+					if fcs16(s.buf[:n]) == want {
+						frames = append(frames, append([]byte(nil), s.buf[:n]...))
+					} else {
+						bad++
+					}
+				} else {
+					bad++
+				}
+			}
+			s.buf = s.buf[:0]
+			s.inFrame = true
+			s.esc = false
+			continue
+		}
+		if !s.inFrame {
+			continue
+		}
+		if b == hdlcEsc {
+			s.esc = true
+			continue
+		}
+		if s.esc {
+			b ^= hdlcXor
+			s.esc = false
+		}
+		s.buf = append(s.buf, b)
+	}
+	return frames, bad
+}
+
+// probeHDLC delivers an HDLC stream's segments in reverse order: the
+// positional framing mis-frames, and nothing (or garbage caught by
+// the FCS) comes out.
+func probeHDLC(seed int64) bool {
+	payloads := [][]byte{
+		seededBytes(80, seed), seededBytes(60, seed+1), seededBytes(90, seed+2),
+	}
+	var stream []byte
+	for _, p := range payloads {
+		stream = append(stream, HDLCFrame(p)...)
+	}
+	// Cut the stream into 32-byte segments and reverse them.
+	var segs [][]byte
+	for off := 0; off < len(stream); off += 32 {
+		end := off + 32
+		if end > len(stream) {
+			end = len(stream)
+		}
+		segs = append(segs, stream[off:end])
+	}
+	var sc HDLCScanner
+	good := 0
+	for i := len(segs) - 1; i >= 0; i-- {
+		frames, _ := sc.Feed(segs[i])
+		for _, f := range frames {
+			for _, p := range payloads {
+				if string(f) == string(p) {
+					good++
+				}
+			}
+		}
+	}
+	return good == len(payloads)
+}

@@ -1,0 +1,169 @@
+package protomodel
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestHDLCRoundTripInOrder(t *testing.T) {
+	payloads := [][]byte{
+		seededBytes(50, 1),
+		{},                        // empty frame
+		{hdlcFlag, hdlcEsc, 0x00}, // payload needing stuffing
+		seededBytes(200, 2),
+	}
+	var stream []byte
+	for _, p := range payloads {
+		stream = append(stream, HDLCFrame(p)...)
+	}
+	var sc HDLCScanner
+	frames, bad := sc.Feed(stream)
+	if bad != 0 {
+		t.Fatalf("%d bad frames", bad)
+	}
+	// All four frames round-trip; the empty frame still carries its
+	// 2-byte FCS, so it is distinguishable from back-to-back flags.
+	want := payloads
+	if len(frames) != len(want) {
+		t.Fatalf("decoded %d frames, want %d", len(frames), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(frames[i], want[i]) {
+			t.Fatalf("frame %d mismatch", i)
+		}
+	}
+}
+
+func TestHDLCStuffingTransparency(t *testing.T) {
+	// Wire bytes between the flags must contain no bare flag octets.
+	p := bytes.Repeat([]byte{hdlcFlag}, 10)
+	wire := HDLCFrame(p)
+	for _, b := range wire[1 : len(wire)-1] {
+		if b == hdlcFlag {
+			t.Fatal("unescaped flag inside frame body")
+		}
+	}
+}
+
+func TestHDLCFCSCatchesCorruption(t *testing.T) {
+	wire := HDLCFrame(seededBytes(64, 3))
+	// Flip a payload byte (avoid flags and escapes).
+	for i := 5; i < len(wire)-5; i++ {
+		if wire[i] != hdlcFlag && wire[i] != hdlcEsc && wire[i-1] != hdlcEsc {
+			wire[i] ^= 0x01
+			break
+		}
+	}
+	var sc HDLCScanner
+	frames, bad := sc.Feed(wire)
+	// Need a trailing flag pair to terminate; feed one more.
+	f2, b2 := sc.Feed([]byte{hdlcFlag})
+	frames = append(frames, f2...)
+	bad += b2
+	if len(frames) != 0 || bad == 0 {
+		t.Fatalf("frames=%d bad=%d; FCS must reject the corrupted frame", len(frames), bad)
+	}
+}
+
+func TestHDLCScannerFragmentedFeed(t *testing.T) {
+	p := seededBytes(100, 4)
+	wire := HDLCFrame(p)
+	var sc HDLCScanner
+	var frames [][]byte
+	for _, b := range wire { // byte-at-a-time
+		fs, bad := sc.Feed([]byte{b})
+		if bad != 0 {
+			t.Fatal("unexpected bad frame")
+		}
+		frames = append(frames, fs...)
+	}
+	if len(frames) != 1 || !bytes.Equal(frames[0], p) {
+		t.Fatal("byte-wise feed failed")
+	}
+}
+
+func TestURPInOrder(t *testing.T) {
+	msg := seededBytes(120, 5)
+	r := &URPReceiver{}
+	for i := 0; i < len(msg); i += 40 {
+		if !r.Add(URPCell{SN: uint32(i / 40), Data: msg[i : i+40]}) {
+			t.Fatal("in-order cell rejected")
+		}
+	}
+	if !bytes.Equal(r.Stream(), msg) {
+		t.Fatal("URP stream mismatch")
+	}
+	if r.Add(URPCell{SN: 99, Data: []byte{1}}) {
+		t.Fatal("out-of-sequence cell must be rejected")
+	}
+}
+
+func TestVMTPCollector(t *testing.T) {
+	msg := seededBytes(300, 6)
+	pkts := VMTPSegment(1, msg, 100)
+	if len(pkts) != 3 || !pkts[2].EOM || pkts[1].EOM {
+		t.Fatalf("segmentation shape: %d packets", len(pkts))
+	}
+	var c vmtpCollector
+	if c.add(pkts[1]) != nil {
+		t.Fatal("incomplete message must not complete")
+	}
+	if c.add(pkts[2]) != nil {
+		t.Fatal("still missing the first segment")
+	}
+	out := c.add(pkts[0])
+	if !bytes.Equal(out, msg) {
+		t.Fatal("VMTP reassembly mismatch")
+	}
+}
+
+func TestAxonSegmentation(t *testing.T) {
+	msg := seededBytes(300, 7)
+	pkts := AxonSegment(2, 5, true, msg, 128)
+	if len(pkts) != 3 {
+		t.Fatalf("%d blocks", len(pkts))
+	}
+	if !pkts[2].BlkLast || pkts[0].BlkLast {
+		t.Fatal("block limit bits wrong")
+	}
+	for _, p := range pkts {
+		if p.Assoc != 2 || p.MsgIdx != 5 || !p.MsgLast {
+			t.Fatal("message-level framing wrong")
+		}
+		if axonCheck(p.Data) != p.Check {
+			t.Fatal("positional checksum wrong")
+		}
+	}
+}
+
+func TestDeltaTEncodeScan(t *testing.T) {
+	frames := [][]byte{
+		seededBytes(30, 8),
+		{dtEsc, dtEsc, 0x00}, // payload containing the escape byte
+		{},
+	}
+	stream := DeltaTEncode(frames)
+	got := DeltaTScanFrames(stream)
+	if len(got) != len(frames) {
+		t.Fatalf("scanned %d frames, want %d", len(got), len(frames))
+	}
+	for i := range frames {
+		if !bytes.Equal(got[i], frames[i]) {
+			t.Fatalf("frame %d mismatch: %v vs %v", i, got[i], frames[i])
+		}
+	}
+	// A gap (missing prefix) hides everything after it.
+	if fs := DeltaTScanFrames(stream[3:]); len(fs) >= len(frames) {
+		t.Fatal("truncated prefix must lose at least the first frame")
+	}
+}
+
+func TestDeltaTProbeSplit(t *testing.T) {
+	placement, beyondGap := probeDeltaT(9)
+	if !placement {
+		t.Fatal("Delta-t placement must succeed")
+	}
+	if beyondGap {
+		t.Fatal("frames beyond a gap must be invisible")
+	}
+}

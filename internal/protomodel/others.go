@@ -1,0 +1,305 @@
+package protomodel
+
+import (
+	"encoding/binary"
+	"math/rand"
+)
+
+// seededBytes returns n deterministic bytes.
+func seededBytes(n int, seed int64) []byte {
+	b := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(b)
+	return b
+}
+
+// ---------------------------------------------------------------------------
+// VMTP model (Appendix B): "VMTP provides an X.ID (transaction
+// identifier), a X.SN (segOffset), and X.ST bit (End-of-Message)"
+// with per-packet error detection. Explicit per-packet offsets make
+// disordered placement work.
+
+// VMTPPacket is one segment of a message transaction.
+type VMTPPacket struct {
+	Transaction uint64
+	SegOffset   uint32
+	EOM         bool
+	Data        []byte
+}
+
+// VMTPSegment splits a message into packets of per bytes.
+func VMTPSegment(tx uint64, msg []byte, per int) []VMTPPacket {
+	var out []VMTPPacket
+	for off := 0; off < len(msg); off += per {
+		end := off + per
+		if end > len(msg) {
+			end = len(msg)
+		}
+		out = append(out, VMTPPacket{
+			Transaction: tx, SegOffset: uint32(off),
+			EOM: end == len(msg), Data: msg[off:end],
+		})
+	}
+	return out
+}
+
+// vmtpCollector places segments by offset (like the paper's message
+// transactions).
+type vmtpCollector struct {
+	buf   []byte
+	have  int
+	total int
+}
+
+func (c *vmtpCollector) add(p VMTPPacket) []byte {
+	end := int(p.SegOffset) + len(p.Data)
+	if end > len(c.buf) {
+		grown := make([]byte, end)
+		copy(grown, c.buf)
+		c.buf = grown
+	}
+	copy(c.buf[p.SegOffset:end], p.Data)
+	c.have += len(p.Data)
+	if p.EOM {
+		c.total = end
+	}
+	if c.total > 0 && c.have >= c.total {
+		return c.buf[:c.total]
+	}
+	return nil
+}
+
+// probeVMTP: reversed segments still place — measured yes.
+func probeVMTP(seed int64) bool {
+	msg := seededBytes(500, seed)
+	pkts := VMTPSegment(9, msg, 128)
+	var c vmtpCollector
+	var out []byte
+	for i := len(pkts) - 1; i >= 0; i-- {
+		if o := c.add(pkts[i]); o != nil {
+			out = o
+		}
+	}
+	return string(out) == string(msg)
+}
+
+// ---------------------------------------------------------------------------
+// Axon model (Appendix B): "Each level of framing has an SN (index)
+// and ST bit (limit). However, not all levels of framing have an ID,
+// which means that some frames are assumed to be hierarchically
+// nested." Two nested levels: block index within message, message
+// index within association; only the association carries an ID.
+// Placement of disordered packets into application memory works; the
+// per-packet checksum is positional (trailing), which this model
+// keeps.
+
+// AxonPacket is one block of a nested Axon framing hierarchy.
+type AxonPacket struct {
+	Assoc    uint32 // association ID (top level only)
+	MsgIdx   uint32 // message SN within the association
+	MsgLast  bool   // message ST (limit)
+	BlockIdx uint32 // block SN within the message
+	BlkLast  bool   // block ST (limit)
+	Data     []byte
+	Check    uint32 // positional trailing checksum of Data
+}
+
+// axonCheck is the per-packet checksum (simple sum; the model point
+// is its positional location, not its strength).
+func axonCheck(data []byte) uint32 {
+	var s uint32
+	for i := 0; i+4 <= len(data); i += 4 {
+		s += binary.BigEndian.Uint32(data[i : i+4])
+	}
+	return s
+}
+
+// AxonSegment splits a message into blocks.
+func AxonSegment(assoc, msgIdx uint32, msgLast bool, msg []byte, per int) []AxonPacket {
+	var out []AxonPacket
+	n := (len(msg) + per - 1) / per
+	for i := 0; i < n; i++ {
+		lo := i * per
+		hi := lo + per
+		if hi > len(msg) {
+			hi = len(msg)
+		}
+		out = append(out, AxonPacket{
+			Assoc: assoc, MsgIdx: msgIdx, MsgLast: msgLast,
+			BlockIdx: uint32(i), BlkLast: i == n-1,
+			Data:  msg[lo:hi],
+			Check: axonCheck(msg[lo:hi]),
+		})
+	}
+	return out
+}
+
+// probeAxon: nested indices place disordered blocks (assuming the
+// fixed block size the hierarchy implies) — measured yes.
+func probeAxon(seed int64) bool {
+	msg := seededBytes(500, seed)
+	const per = 128
+	pkts := AxonSegment(1, 0, true, msg, per)
+	buf := make([]byte, len(msg))
+	got := 0
+	for i := len(pkts) - 1; i >= 0; i-- {
+		p := pkts[i]
+		if axonCheck(p.Data) != p.Check {
+			return false
+		}
+		copy(buf[int(p.BlockIdx)*per:], p.Data)
+		got += len(p.Data)
+	}
+	return got == len(msg) && string(buf) == string(msg)
+}
+
+// ---------------------------------------------------------------------------
+// Delta-t model (Appendix B): "has a C.ID and C.SN, with the C.SN
+// large enough to allow reordering of disordered data. Within the
+// data stream, Delta-t provides symbols that mark the beginning and
+// end of a higher-level frame (the B and E symbols)." Placement by
+// C.SN works on disordered packets; extracting frames requires an
+// in-order scan for the escaped B/E symbols — "partial".
+
+const (
+	dtEsc = 0xDB
+	dtB   = 0x01
+	dtE   = 0x02
+	dtLit = 0x03
+)
+
+// DeltaTEncode builds the escaped byte stream for a frame: B symbol,
+// payload with dtEsc doubled, E symbol.
+func DeltaTEncode(frames [][]byte) []byte {
+	var out []byte
+	for _, f := range frames {
+		out = append(out, dtEsc, dtB)
+		for _, b := range f {
+			if b == dtEsc {
+				out = append(out, dtEsc, dtLit)
+			} else {
+				out = append(out, b)
+			}
+		}
+		out = append(out, dtEsc, dtE)
+	}
+	return out
+}
+
+// DeltaTScanFrames extracts frames from a CONTIGUOUS stream prefix.
+func DeltaTScanFrames(stream []byte) [][]byte {
+	var out [][]byte
+	var cur []byte
+	open := false
+	for i := 0; i < len(stream); i++ {
+		if stream[i] == dtEsc && i+1 < len(stream) {
+			i++
+			switch stream[i] {
+			case dtB:
+				open = true
+				cur = cur[:0]
+			case dtE:
+				if open {
+					out = append(out, append([]byte(nil), cur...))
+					open = false
+				}
+			case dtLit:
+				if open {
+					cur = append(cur, dtEsc)
+				}
+			}
+			continue
+		}
+		if open {
+			cur = append(cur, stream[i])
+		}
+	}
+	return out
+}
+
+// probeDeltaTPlacement: disordered (C.SN, data) packets place into
+// the stream buffer — yes.
+// probeDeltaTFraming: frames are only extractable from the in-order
+// contiguous prefix — a missing early packet hides ALL later frames,
+// even complete ones.
+func probeDeltaT(seed int64) (placement, framesBeyondGap bool) {
+	frames := [][]byte{seededBytes(100, seed), seededBytes(100, seed+1), seededBytes(100, seed+2)}
+	stream := DeltaTEncode(frames)
+	// Packetize with C.SN = byte offset.
+	type pkt struct {
+		sn   int
+		data []byte
+	}
+	var pkts []pkt
+	for off := 0; off < len(stream); off += 64 {
+		end := off + 64
+		if end > len(stream) {
+			end = len(stream)
+		}
+		pkts = append(pkts, pkt{off, stream[off:end]})
+	}
+	// Reverse delivery; place by C.SN.
+	buf := make([]byte, len(stream))
+	for i := len(pkts) - 1; i >= 0; i-- {
+		copy(buf[pkts[i].sn:], pkts[i].data)
+	}
+	placement = string(buf) == string(stream)
+
+	// Drop packet 0 and scan only the in-order prefix (nothing): the
+	// two complete later frames are invisible until the gap fills.
+	got := DeltaTScanFrames(nil) // contiguous prefix is empty
+	framesBeyondGap = len(got) > 0
+	return placement, framesBeyondGap
+}
+
+// ---------------------------------------------------------------------------
+// URP model (Appendix B): "URP uses a C.SN, but the C.ID is implicit
+// because URP connections are mapped one-to-one onto network
+// connections ... URP delimits messages with a BOT marker". The
+// receiver runs on a virtual circuit and accepts cells only in
+// sequence (the SN serves ARQ, not reordering); blocks are found by
+// in-stream markers.
+
+// URPCell is one sequenced cell on the circuit.
+type URPCell struct {
+	SN   uint32
+	Data []byte
+}
+
+// URPReceiver accepts cells strictly in order; out-of-sequence cells
+// are discarded (the link-layer ARQ would retransmit them).
+type URPReceiver struct {
+	next   uint32
+	stream []byte
+}
+
+// Add ingests a cell; it reports whether the cell was accepted.
+func (r *URPReceiver) Add(c URPCell) bool {
+	if c.SN != r.next {
+		return false
+	}
+	r.next++
+	r.stream = append(r.stream, c.Data...)
+	return true
+}
+
+// Stream returns the accepted in-order byte stream.
+func (r *URPReceiver) Stream() []byte { return r.stream }
+
+// probeURP: reversed cells are rejected by the sequencer — no
+// disordered delivery.
+func probeURP(seed int64) bool {
+	msg := seededBytes(300, seed)
+	var cells []URPCell
+	for off := 0; off < len(msg); off += 50 {
+		end := off + 50
+		if end > len(msg) {
+			end = len(msg)
+		}
+		cells = append(cells, URPCell{SN: uint32(off / 50), Data: msg[off:end]})
+	}
+	r := &URPReceiver{}
+	for i := len(cells) - 1; i >= 0; i-- {
+		r.Add(cells[i])
+	}
+	return string(r.Stream()) == string(msg)
+}

@@ -1,0 +1,76 @@
+package protomodel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProbesMatchPaperClassification(t *testing.T) {
+	rows := Compare(1)
+	want := map[string]string{
+		"chunks":                     "yes (measured)",
+		"IP fragmentation [POST 81]": "yes (measured)",
+		"XTP [XTP 90]":               "yes (measured)",
+		"AAL type 5 [LYON 91]":       "no (measured)",
+		"AAL type 3/4 [DEPR 91]":     "no (measured)",
+		"HDLC family":                "no (measured)",
+		"URP [FRAS 89]":              "no (measured)",
+		"VMTP [CHER 86]":             "yes (measured)",
+		"Axon [STER 90]":             "yes (measured)",
+		"Delta-t [WATS 83]":          "partial (measured)",
+	}
+	seen := 0
+	for _, r := range rows {
+		if w, ok := want[r.Protocol]; ok {
+			seen++
+			if r.Disordered != w {
+				t.Errorf("%s: probe says %q, want %q", r.Protocol, r.Disordered, w)
+			}
+		}
+	}
+	if seen != len(want) {
+		t.Fatalf("probed %d of %d implemented protocols", seen, len(want))
+	}
+}
+
+func TestTableShape(t *testing.T) {
+	rows := Compare(2)
+	if len(rows) != 10 {
+		t.Fatalf("%d rows; Appendix B discusses 10 systems", len(rows))
+	}
+	for _, r := range rows {
+		if r.Protocol == "" || r.Framing == "" || r.Disordered == "" || r.Notes == "" {
+			t.Errorf("incomplete row: %+v", r)
+		}
+		if !strings.Contains(r.Disordered, "(measured)") {
+			t.Errorf("%s: row not probe-backed: %q", r.Protocol, r.Disordered)
+		}
+	}
+}
+
+func TestProbesStableAcrossSeeds(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		if !probeChunks(seed) {
+			t.Errorf("seed %d: chunks probe failed", seed)
+		}
+		if !probeIP(seed) {
+			t.Errorf("seed %d: ip probe failed", seed)
+		}
+		if !probeXTP(seed) {
+			t.Errorf("seed %d: xtp probe failed", seed)
+		}
+		if probeAAL5(seed) {
+			t.Errorf("seed %d: aal5 probe wrongly succeeded", seed)
+		}
+		if probeAAL34(seed) {
+			t.Errorf("seed %d: aal3/4 probe wrongly succeeded", seed)
+		}
+	}
+}
+
+func TestRowString(t *testing.T) {
+	r := Compare(1)[0]
+	if s := r.String(); !strings.Contains(s, "chunks") {
+		t.Fatalf("String() = %q", s)
+	}
+}

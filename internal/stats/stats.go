@@ -1,0 +1,134 @@
+// Package stats provides the measurement instruments for the paper's
+// performance arguments: data-touch (bus-crossing) counters for the
+// Section 1 claim that buffering before processing moves data across
+// the memory bus twice, buffer-occupancy tracking for the reassembly
+// lock-up experiment, and a latency recorder for the
+// buffering-increases-latency claim.
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Touches counts byte movements. In the paper's RISC-workstation model
+// every time a byte is read from or written to memory it crosses the
+// bus once; immediate processing touches each byte once on receive,
+// while buffer-then-process touches it at least twice.
+type Touches struct {
+	ops   int64
+	bytes int64
+}
+
+// Move records moving (reading or writing) n bytes.
+func (t *Touches) Move(n int) {
+	t.ops++
+	t.bytes += int64(n)
+}
+
+// Bytes returns total bytes moved.
+func (t *Touches) Bytes() int64 { return t.bytes }
+
+// Ops returns the number of move operations.
+func (t *Touches) Ops() int64 { return t.ops }
+
+// Reset zeroes the counter.
+func (t *Touches) Reset() { *t = Touches{} }
+
+// PerByte returns moved-bytes divided by payload bytes — the
+// "times each byte crossed the bus" figure the P1 experiment reports.
+func (t *Touches) PerByte(payload int64) float64 {
+	if payload == 0 {
+		return 0
+	}
+	return float64(t.bytes) / float64(payload)
+}
+
+// Occupancy tracks current and peak occupancy of a buffer in bytes.
+type Occupancy struct {
+	cur, peak int64
+}
+
+// Grow adds n bytes to the buffer.
+func (o *Occupancy) Grow(n int) {
+	o.cur += int64(n)
+	if o.cur > o.peak {
+		o.peak = o.cur
+	}
+}
+
+// Shrink removes n bytes.
+func (o *Occupancy) Shrink(n int) { o.cur -= int64(n) }
+
+// Current returns the current occupancy.
+func (o *Occupancy) Current() int64 { return o.cur }
+
+// Peak returns the high-water mark.
+func (o *Occupancy) Peak() int64 { return o.peak }
+
+// Latency records per-item latencies in abstract ticks (the netsim
+// clock) and reports distribution statistics.
+type Latency struct {
+	samples []int64
+	sorted  bool
+}
+
+// Record adds one latency sample.
+func (l *Latency) Record(ticks int64) {
+	l.samples = append(l.samples, ticks)
+	l.sorted = false
+}
+
+// Count returns the number of samples.
+func (l *Latency) Count() int { return len(l.samples) }
+
+// Mean returns the mean latency, or 0 with no samples.
+func (l *Latency) Mean() float64 {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, s := range l.samples {
+		sum += s
+	}
+	return float64(sum) / float64(len(l.samples))
+}
+
+func (l *Latency) sort() {
+	if !l.sorted {
+		sort.Slice(l.samples, func(i, j int) bool { return l.samples[i] < l.samples[j] })
+		l.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) by
+// nearest-rank, or 0 with no samples.
+func (l *Latency) Percentile(p float64) int64 {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	l.sort()
+	rank := int(p/100*float64(len(l.samples))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(l.samples) {
+		rank = len(l.samples) - 1
+	}
+	return l.samples[rank]
+}
+
+// Max returns the largest sample.
+func (l *Latency) Max() int64 {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	l.sort()
+	return l.samples[len(l.samples)-1]
+}
+
+// String summarises the distribution.
+func (l *Latency) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f p50=%d p99=%d max=%d",
+		l.Count(), l.Mean(), l.Percentile(50), l.Percentile(99), l.Max())
+}

@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTouches(t *testing.T) {
+	var tc Touches
+	tc.Move(100)
+	tc.Move(50)
+	if tc.Bytes() != 150 || tc.Ops() != 2 {
+		t.Fatalf("Bytes=%d Ops=%d", tc.Bytes(), tc.Ops())
+	}
+	if got := tc.PerByte(75); got != 2.0 {
+		t.Fatalf("PerByte = %v", got)
+	}
+	if tc.PerByte(0) != 0 {
+		t.Fatal("PerByte(0) must be 0")
+	}
+	tc.Reset()
+	if tc.Bytes() != 0 || tc.Ops() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestOccupancy(t *testing.T) {
+	var o Occupancy
+	o.Grow(100)
+	o.Grow(200)
+	o.Shrink(150)
+	if o.Current() != 150 {
+		t.Fatalf("Current = %d", o.Current())
+	}
+	if o.Peak() != 300 {
+		t.Fatalf("Peak = %d", o.Peak())
+	}
+	o.Grow(10)
+	if o.Peak() != 300 {
+		t.Fatal("peak must not drop")
+	}
+}
+
+func TestLatencyEmpty(t *testing.T) {
+	var l Latency
+	if l.Mean() != 0 || l.Percentile(50) != 0 || l.Max() != 0 || l.Count() != 0 {
+		t.Fatal("empty recorder must report zeros")
+	}
+}
+
+func TestLatencyStats(t *testing.T) {
+	var l Latency
+	for _, v := range []int64{5, 1, 9, 3, 7} {
+		l.Record(v)
+	}
+	if l.Count() != 5 {
+		t.Fatalf("Count = %d", l.Count())
+	}
+	if l.Mean() != 5.0 {
+		t.Fatalf("Mean = %v", l.Mean())
+	}
+	if l.Percentile(50) != 5 {
+		t.Fatalf("p50 = %d", l.Percentile(50))
+	}
+	if l.Max() != 9 {
+		t.Fatalf("Max = %d", l.Max())
+	}
+	if l.Percentile(1) != 1 {
+		t.Fatalf("p1 = %d", l.Percentile(1))
+	}
+	if l.Percentile(100) != 9 {
+		t.Fatalf("p100 = %d", l.Percentile(100))
+	}
+}
+
+func TestLatencyRecordAfterSort(t *testing.T) {
+	var l Latency
+	l.Record(10)
+	_ = l.Percentile(50)
+	l.Record(1)
+	if l.Percentile(1) != 1 {
+		t.Fatal("recorder must re-sort after new samples")
+	}
+}
+
+func TestLatencyString(t *testing.T) {
+	var l Latency
+	l.Record(4)
+	s := l.String()
+	for _, want := range []string{"n=1", "mean=4.0", "max=4"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+// Package trace generates the deterministic workloads the paper's
+// motivation names: bulk data transfer (Section 1's "regardless of the
+// order in which data arrive, they can be correctly placed in the
+// application address space") and video (frames as Application Layer
+// Frames, where "data of an individual frame can be placed in the
+// frame buffer as they arrive").
+package trace
+
+import (
+	"math/rand"
+
+	"chunks/internal/chunk"
+	"chunks/internal/compress"
+	"chunks/internal/errdet"
+)
+
+// A Workload is a generated chunk stream plus the ground truth needed
+// to check any receiver against it.
+type Workload struct {
+	Name string
+	// Data is the original application byte stream.
+	Data []byte
+	// Chunks are the pre-fragmentation data chunks in send order.
+	Chunks []chunk.Chunk
+	// EDs are the per-TPDU error detection chunks.
+	EDs []chunk.Chunk
+	// ElemSize is the element size used throughout.
+	ElemSize uint16
+}
+
+// All returns data and ED chunks interleaved in transmission order
+// (each TPDU's ED chunk directly after its data, as in Figure 3).
+func (w *Workload) All() []chunk.Chunk {
+	var out []chunk.Chunk
+	edAt := make(map[uint32]int, len(w.EDs))
+	for i := range w.EDs {
+		edAt[w.EDs[i].T.ID] = i
+	}
+	emitted := make(map[uint32]bool)
+	for i := range w.Chunks {
+		out = append(out, w.Chunks[i])
+		tid := w.Chunks[i].T.ID
+		last := i+1 == len(w.Chunks) || w.Chunks[i+1].T.ID != tid
+		if last && !emitted[tid] {
+			if j, ok := edAt[tid]; ok {
+				out = append(out, w.EDs[j])
+				emitted[tid] = true
+			}
+		}
+	}
+	return out
+}
+
+// BulkConfig parameterises a bulk transfer.
+type BulkConfig struct {
+	Seed      int64
+	Bytes     int    // total stream size (rounded up to elements)
+	ElemSize  uint16 // element size (e.g. 4)
+	TPDUElems int    // elements per TPDU
+	CID       uint32
+	Layout    errdet.Layout
+}
+
+// Bulk generates a bulk-transfer workload: the stream divided into
+// TPDUs, each TPDU one chunk and one external PDU aligned with it
+// (bulk applications frame on transfer-block boundaries). T.IDs follow
+// the implicit rule (Figure 7) so header compression applies.
+func Bulk(cfg BulkConfig) (*Workload, error) {
+	if cfg.ElemSize == 0 {
+		cfg.ElemSize = 4
+	}
+	if cfg.TPDUElems == 0 {
+		cfg.TPDUElems = 256
+	}
+	if cfg.Layout.DataSymbols == 0 {
+		cfg.Layout = errdet.DefaultLayout()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	es := int(cfg.ElemSize)
+	elems := (cfg.Bytes + es - 1) / es
+	data := make([]byte, elems*es)
+	rng.Read(data)
+
+	w := &Workload{Name: "bulk", Data: data, ElemSize: cfg.ElemSize}
+	for start := 0; start < elems; start += cfg.TPDUElems {
+		n := cfg.TPDUElems
+		if start+n > elems {
+			n = elems - start
+		}
+		csn := uint64(start)
+		c := chunk.Chunk{
+			Type: chunk.TypeData, Size: cfg.ElemSize, Len: uint32(n),
+			C:       chunk.Tuple{ID: cfg.CID, SN: csn},
+			T:       chunk.Tuple{ID: compress.DeriveImplicitTID(csn, 0), SN: 0, ST: true},
+			X:       chunk.Tuple{ID: compress.DeriveImplicitTID(csn, 0), SN: 0, ST: true},
+			Payload: data[start*es : (start+n)*es],
+		}
+		par, err := errdet.Encode(cfg.Layout, []chunk.Chunk{c})
+		if err != nil {
+			return nil, err
+		}
+		w.Chunks = append(w.Chunks, c)
+		w.EDs = append(w.EDs, errdet.EDChunk(cfg.CID, c.T.ID, csn, par))
+	}
+	return w, nil
+}
+
+// VideoConfig parameterises a video stream.
+type VideoConfig struct {
+	Seed       int64
+	Frames     int
+	FrameElems int    // elements per frame
+	ElemSize   uint16 // e.g. 4
+	TPDUElems  int    // TPDU size, independent of frame size (Figure 1)
+	CID        uint32
+	Layout     errdet.Layout
+}
+
+// Video generates a video workload: each frame is one external PDU
+// (an ALF frame), while TPDUs cut the same stream at an unrelated
+// period — the two simultaneous framings of Figure 1. Chunks break at
+// whichever boundary comes first.
+func Video(cfg VideoConfig) (*Workload, error) {
+	if cfg.ElemSize == 0 {
+		cfg.ElemSize = 4
+	}
+	if cfg.FrameElems == 0 {
+		cfg.FrameElems = 300
+	}
+	if cfg.TPDUElems == 0 {
+		cfg.TPDUElems = 256
+	}
+	if cfg.Layout.DataSymbols == 0 {
+		cfg.Layout = errdet.DefaultLayout()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	es := int(cfg.ElemSize)
+	elems := cfg.Frames * cfg.FrameElems
+	data := make([]byte, elems*es)
+	rng.Read(data)
+
+	w := &Workload{Name: "video", Data: data, ElemSize: cfg.ElemSize}
+	// Walk the element stream, cutting at TPDU and frame boundaries.
+	var cur []chunk.Chunk // chunks of the in-progress TPDU
+	var tpduStart int
+	flushTPDU := func(endElem int) error {
+		if len(cur) == 0 {
+			return nil
+		}
+		cur[len(cur)-1].T.ST = true
+		par, err := errdet.Encode(cfg.Layout, cur)
+		if err != nil {
+			return err
+		}
+		tid := cur[0].T.ID
+		w.Chunks = append(w.Chunks, cur...)
+		w.EDs = append(w.EDs, errdet.EDChunk(cfg.CID, tid, uint64(tpduStart), par))
+		cur = nil
+		tpduStart = endElem
+		return nil
+	}
+	for e := 0; e < elems; {
+		tpduEnd := tpduStart + cfg.TPDUElems
+		frame := e / cfg.FrameElems
+		frameEnd := (frame + 1) * cfg.FrameElems
+		end := tpduEnd
+		if frameEnd < end {
+			end = frameEnd
+		}
+		if end > elems {
+			end = elems
+		}
+		csn := uint64(e)
+		c := chunk.Chunk{
+			Type: chunk.TypeData, Size: cfg.ElemSize, Len: uint32(end - e),
+			C: chunk.Tuple{ID: cfg.CID, SN: csn},
+			T: chunk.Tuple{
+				ID: compress.DeriveImplicitTID(uint64(tpduStart), 0),
+				SN: uint64(e - tpduStart),
+			},
+			X: chunk.Tuple{
+				ID: uint32(frame) + 1,
+				SN: uint64(e - frame*cfg.FrameElems),
+				ST: end == frameEnd,
+			},
+			Payload: data[e*es : end*es],
+		}
+		cur = append(cur, c)
+		e = end
+		if e == tpduEnd || e == elems {
+			if err := flushTPDU(e); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return w, nil
+}
+
+// Frame returns the ground-truth bytes of frame i (0-based).
+func (w *Workload) Frame(cfg VideoConfig, i int) []byte {
+	es := int(w.ElemSize)
+	lo := i * cfg.FrameElems * es
+	return w.Data[lo : lo+cfg.FrameElems*es]
+}

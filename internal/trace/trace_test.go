@@ -1,0 +1,190 @@
+package trace
+
+import (
+	"testing"
+
+	"chunks/internal/chunk"
+	"chunks/internal/errdet"
+)
+
+func TestBulkShape(t *testing.T) {
+	w, err := Bulk(BulkConfig{Seed: 1, Bytes: 4096, ElemSize: 4, TPDUElems: 256, CID: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Chunks) != 4 || len(w.EDs) != 4 {
+		t.Fatalf("chunks=%d eds=%d", len(w.Chunks), len(w.EDs))
+	}
+	var total int
+	for i := range w.Chunks {
+		c := &w.Chunks[i]
+		if err := c.Validate(); err != nil {
+			t.Fatalf("chunk %d: %v", i, err)
+		}
+		if !c.T.ST {
+			t.Fatal("bulk TPDUs are single chunks ending with T.ST")
+		}
+		total += len(c.Payload)
+	}
+	if total != len(w.Data) {
+		t.Fatalf("payload bytes %d != stream %d", total, len(w.Data))
+	}
+}
+
+func TestBulkRoundsUp(t *testing.T) {
+	w, err := Bulk(BulkConfig{Seed: 1, Bytes: 10, ElemSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Data) != 12 {
+		t.Fatalf("data = %d bytes, want rounded 12", len(w.Data))
+	}
+}
+
+func TestBulkVerifies(t *testing.T) {
+	w, err := Bulk(BulkConfig{Seed: 2, Bytes: 2048, ElemSize: 4, TPDUElems: 128, CID: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := errdet.NewReceiver(errdet.DefaultLayout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range w.All() {
+		cc := c
+		if err := r.Ingest(&cc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range w.Chunks {
+		if v := r.Verdict(w.Chunks[i].T.ID); v != errdet.VerdictOK {
+			t.Fatalf("TPDU %d verdict %v; findings %v", i, v, r.Findings())
+		}
+	}
+}
+
+func TestAllInterleavesEDs(t *testing.T) {
+	w, err := Bulk(BulkConfig{Seed: 1, Bytes: 1024, ElemSize: 4, TPDUElems: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := w.All()
+	if len(all) != len(w.Chunks)+len(w.EDs) {
+		t.Fatalf("All() has %d chunks", len(all))
+	}
+	// Each ED must directly follow its TPDU's last data chunk.
+	for i := 1; i < len(all); i++ {
+		if all[i].Type == chunk.TypeED && all[i-1].T.ID != all[i].T.ID {
+			t.Fatal("ED chunk not adjacent to its TPDU")
+		}
+	}
+}
+
+func TestVideoShape(t *testing.T) {
+	cfg := VideoConfig{Seed: 3, Frames: 5, FrameElems: 300, ElemSize: 4, TPDUElems: 256, CID: 7}
+	w, err := Video(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frame and TPDU boundaries are unrelated: chunks must break at
+	// both (Figure 1). 1500 elements: TPDU cuts every 256, frame cuts
+	// every 300.
+	var elems int
+	xst := 0
+	for i := range w.Chunks {
+		c := &w.Chunks[i]
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		elems += c.Elems()
+		if c.X.ST {
+			xst++
+		}
+	}
+	if elems != 1500 {
+		t.Fatalf("total elements %d", elems)
+	}
+	if xst != cfg.Frames {
+		t.Fatalf("%d X.ST bits for %d frames", xst, cfg.Frames)
+	}
+}
+
+func TestVideoVerifies(t *testing.T) {
+	cfg := VideoConfig{Seed: 4, Frames: 4, FrameElems: 150, ElemSize: 4, TPDUElems: 128, CID: 7}
+	w, err := Video(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := errdet.NewReceiver(errdet.DefaultLayout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range w.All() {
+		cc := c
+		if err := r.Ingest(&cc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := map[uint32]bool{}
+	for i := range w.Chunks {
+		tid := w.Chunks[i].T.ID
+		if seen[tid] {
+			continue
+		}
+		seen[tid] = true
+		if v := r.Verdict(tid); v != errdet.VerdictOK {
+			t.Fatalf("TPDU %#x verdict %v; findings %v", tid, v, r.Findings())
+		}
+	}
+	// Every frame (external PDU) completes.
+	for f := 1; f <= cfg.Frames; f++ {
+		if !r.XComplete(uint32(f)) {
+			t.Fatalf("frame %d incomplete", f)
+		}
+	}
+	if fs := r.Findings(); len(fs) != 0 {
+		t.Fatalf("findings: %v", fs)
+	}
+}
+
+func TestVideoCSNContinuity(t *testing.T) {
+	cfg := VideoConfig{Seed: 5, Frames: 3, FrameElems: 100, ElemSize: 4, TPDUElems: 64}
+	w, err := Video(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := uint64(0)
+	for i := range w.Chunks {
+		if w.Chunks[i].C.SN != next {
+			t.Fatalf("chunk %d: C.SN %d, want %d", i, w.Chunks[i].C.SN, next)
+		}
+		next += uint64(w.Chunks[i].Len)
+	}
+}
+
+func TestVideoFrameAccessor(t *testing.T) {
+	cfg := VideoConfig{Seed: 6, Frames: 3, FrameElems: 10, ElemSize: 4}
+	w, err := Video(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1 := w.Frame(cfg, 1)
+	if len(f1) != 40 {
+		t.Fatalf("frame length %d", len(f1))
+	}
+	if &f1[0] != &w.Data[40] {
+		t.Fatal("frame must alias the stream")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := Bulk(BulkConfig{Seed: 42, Bytes: 1000})
+	b, _ := Bulk(BulkConfig{Seed: 42, Bytes: 1000})
+	if string(a.Data) != string(b.Data) {
+		t.Fatal("same seed must give same data")
+	}
+	c, _ := Bulk(BulkConfig{Seed: 43, Bytes: 1000})
+	if string(a.Data) == string(c.Data) {
+		t.Fatal("different seeds should differ")
+	}
+}

@@ -1,0 +1,139 @@
+package transport
+
+import (
+	"testing"
+
+	"chunks/internal/chunk"
+	"chunks/internal/vr"
+)
+
+func TestSignalOpenRoundTrip(t *testing.T) {
+	c := SignalOpen(0xAA, 4, 100)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sig, err := ParseSignal(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sig.Open || sig.CID != 0xAA || sig.ElemSize != 4 || sig.CSN != 100 {
+		t.Fatalf("sig = %+v", sig)
+	}
+}
+
+func TestSignalCloseRoundTrip(t *testing.T) {
+	c := SignalClose(0xAA, 5000)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.C.ST {
+		t.Fatal("close signal must carry the C.ST position")
+	}
+	sig, err := ParseSignal(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig.Open || sig.CSN != 5000 {
+		t.Fatalf("sig = %+v", sig)
+	}
+}
+
+func TestParseSignalErrors(t *testing.T) {
+	bad := chunk.Chunk{Type: chunk.TypeData, Size: 1, Len: 1, Payload: []byte{1}}
+	if _, err := ParseSignal(&bad); err != ErrBadControl {
+		t.Fatal("wrong type")
+	}
+	short := chunk.Chunk{Type: chunk.TypeSignal, Size: 2, Len: 1, Payload: []byte{sigOpen, 0}}
+	if _, err := ParseSignal(&short); err != ErrBadControl {
+		t.Fatal("short open")
+	}
+	unk := chunk.Chunk{Type: chunk.TypeSignal, Size: 1, Len: 1, Payload: []byte{9}}
+	if _, err := ParseSignal(&unk); err != ErrBadControl {
+		t.Fatal("unknown op")
+	}
+}
+
+func TestAckRoundTrip(t *testing.T) {
+	c := Ack(1, 77)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tid, err := ParseAck(&c)
+	if err != nil || tid != 77 {
+		t.Fatalf("tid=%d err=%v", tid, err)
+	}
+	bad := chunk.Chunk{Type: chunk.TypeAck, Size: 2, Len: 1, Payload: []byte{0, 1}}
+	if _, err := ParseAck(&bad); err != ErrBadControl {
+		t.Fatal("short ack")
+	}
+}
+
+func TestNackRoundTrip(t *testing.T) {
+	miss := []vr.Interval{{Lo: 3, Hi: 9}, {Lo: 20, Hi: 21}}
+	c := Nack(1, 42, miss)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tid, got, err := ParseNack(&c)
+	if err != nil || tid != 42 {
+		t.Fatalf("tid=%d err=%v", tid, err)
+	}
+	if len(got) != 2 || got[0] != miss[0] || got[1] != miss[1] {
+		t.Fatalf("missing = %v", got)
+	}
+	// Empty interval list = "resend ED only".
+	c = Nack(1, 42, nil)
+	tid, got, err = ParseNack(&c)
+	if err != nil || tid != 42 || len(got) != 0 {
+		t.Fatalf("empty nack: %d %v %v", tid, got, err)
+	}
+}
+
+func TestParseNackErrors(t *testing.T) {
+	bad := chunk.Chunk{Type: chunk.TypeNack, Size: 3, Len: 1, Payload: []byte{0, 0, 0}}
+	if _, _, err := ParseNack(&bad); err != ErrBadControl {
+		t.Fatal("short nack")
+	}
+	// Count claims more intervals than present.
+	p := append([]byte{0, 0, 0, 7}, 0, 2)
+	c := chunk.Chunk{Type: chunk.TypeNack, Size: uint16(len(p)), Len: 1, Payload: p}
+	if _, _, err := ParseNack(&c); err != ErrBadControl {
+		t.Fatal("count mismatch")
+	}
+}
+
+func TestSubChunk(t *testing.T) {
+	c := chunk.Chunk{
+		Type: chunk.TypeData, Size: 2, Len: 10,
+		C:       chunk.Tuple{ID: 1, SN: 100},
+		T:       chunk.Tuple{ID: 2, SN: 20, ST: true},
+		X:       chunk.Tuple{ID: 3, SN: 5, ST: true},
+		Payload: make([]byte, 20),
+	}
+	for i := range c.Payload {
+		c.Payload[i] = byte(i)
+	}
+	// Middle overlap: [23, 27) of T.SN space.
+	sub, ok := subChunk(&c, vr.Interval{Lo: 23, Hi: 27})
+	if !ok {
+		t.Fatal("overlap expected")
+	}
+	if sub.Len != 4 || sub.T.SN != 23 || sub.C.SN != 103 || sub.X.SN != 8 {
+		t.Fatalf("sub = %v", &sub)
+	}
+	if sub.T.ST || sub.X.ST || sub.C.ST {
+		t.Fatal("non-tail sub-chunk must clear ST bits")
+	}
+	if sub.Payload[0] != 6 {
+		t.Fatalf("payload offset wrong: %v", sub.Payload[:2])
+	}
+	// Tail overlap keeps the ST bits.
+	sub, ok = subChunk(&c, vr.Interval{Lo: 28, Hi: 40})
+	if !ok || sub.Len != 2 || !sub.T.ST || !sub.X.ST {
+		t.Fatalf("tail sub = %v ok=%v", &sub, ok)
+	}
+	// No overlap.
+	if _, ok := subChunk(&c, vr.Interval{Lo: 40, Hi: 50}); ok {
+		t.Fatal("no overlap expected")
+	}
+}

@@ -1,0 +1,326 @@
+package transport
+
+import (
+	"fmt"
+
+	"chunks/internal/chunk"
+	"chunks/internal/errdet"
+	"chunks/internal/packet"
+	"chunks/internal/vr"
+)
+
+// ReceiverConfig parameterises the receive side of a connection.
+type ReceiverConfig struct {
+	// Layout must match the sender's invariant layout.
+	Layout errdet.Layout
+	// MTU bounds control datagrams.
+	MTU int
+	// OnFrame, when set, is called once per completed external PDU
+	// (ALF frame) with the frame's bytes.
+	OnFrame func(xid uint32, data []byte)
+	// OnTPDU, when set, is called once per TPDU with its final
+	// verdict.
+	OnTPDU func(tid uint32, v errdet.Verdict)
+	// Repair enables single-symbol error correction: a TPDU failing
+	// the parity compare is repaired in place when the WSC-2 syndrome
+	// identifies exactly one corrupted data symbol, avoiding a
+	// retransmission round trip (extension; see errdet.Repair).
+	Repair bool
+}
+
+// A Receiver is the receive side of one chunk connection: it places
+// data immediately (no reassembly buffer), verifies each TPDU
+// end-to-end, acknowledges verified TPDUs, and NACKs gaps.
+type Receiver struct {
+	cfg ReceiverConfig
+	out func(datagram []byte)
+	ed  *errdet.Receiver
+
+	cid      uint32
+	elemSize uint16
+	opened   bool
+	closed   bool
+	finalCSN uint64
+
+	// stream is the application address space, placed by C.SN.
+	stream []byte
+
+	repaired  int
+	tids      map[uint32]bool   // every TPDU seen (for polling)
+	progress  map[uint32]uint64 // reassembly fingerprint at last Poll
+	stalled   map[uint32]int    // consecutive no-progress polls
+	acked     map[uint32]bool
+	notified  map[uint32]bool      // OnTPDU fired
+	delivered map[uint32]bool      // frames delivered
+	frames    map[uint32]*frameRec // X.ID -> placement info
+
+	pack packet.Packer
+}
+
+// frameRec locates an external PDU within the connection stream.
+type frameRec struct {
+	startElem uint64 // C.SN of the frame's element 0 (C.SN - X.SN)
+	endElems  uint64 // frame length in elements, once X.ST seen
+	haveEnd   bool
+}
+
+// NewReceiver returns a Receiver; control datagrams (ACK/NACK packets)
+// go to out.
+func NewReceiver(cfg ReceiverConfig, out func([]byte)) (*Receiver, error) {
+	if cfg.Layout.DataSymbols == 0 {
+		cfg.Layout = errdet.DefaultLayout()
+	}
+	if cfg.MTU == 0 {
+		cfg.MTU = 1400
+	}
+	ed, err := errdet.NewReceiver(cfg.Layout)
+	if err != nil {
+		return nil, err
+	}
+	return &Receiver{
+		cfg:       cfg,
+		out:       out,
+		ed:        ed,
+		tids:      make(map[uint32]bool),
+		progress:  make(map[uint32]uint64),
+		stalled:   make(map[uint32]int),
+		acked:     make(map[uint32]bool),
+		notified:  make(map[uint32]bool),
+		delivered: make(map[uint32]bool),
+		frames:    make(map[uint32]*frameRec),
+		pack:      packet.Packer{MTU: cfg.MTU},
+	}, nil
+}
+
+// HandlePacket ingests one received datagram.
+func (r *Receiver) HandlePacket(data []byte) error {
+	p, err := packet.Decode(data)
+	if err != nil {
+		return err
+	}
+	for i := range p.Chunks {
+		if err := r.handleChunk(&p.Chunks[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Receiver) handleChunk(c *chunk.Chunk) error {
+	switch c.Type {
+	case chunk.TypeSignal:
+		sig, err := ParseSignal(c)
+		if err != nil {
+			return err
+		}
+		if sig.Open {
+			r.cid = sig.CID
+			r.elemSize = sig.ElemSize
+			r.opened = true
+		} else {
+			r.closed = true
+			r.finalCSN = sig.CSN
+			// Acknowledge the close signal (repeated closes re-ACK:
+			// a repeat means our previous ACK was lost).
+			r.emit([]chunk.Chunk{Ack(r.cid, CloseAckTID)})
+		}
+		return nil
+	case chunk.TypeData:
+		r.trackFrame(c)
+		// Verification first: only FRESH, check-accepted element
+		// ranges are placed, so a corrupted duplicate can never
+		// overwrite good data (Section 3.3's duplicate rule).
+		fresh, err := r.ed.IngestFresh(c)
+		if err != nil {
+			return err
+		}
+		for _, iv := range fresh {
+			r.place(c, iv.Lo, iv.Hi)
+		}
+		r.tids[c.T.ID] = true
+		r.after(c.T.ID)
+		r.deliverFrames(c.X.ID)
+		return nil
+	case chunk.TypeED:
+		if err := r.ed.Ingest(c); err != nil {
+			return err
+		}
+		r.tids[c.T.ID] = true
+		r.after(c.T.ID)
+		return nil
+	case chunk.TypeAck, chunk.TypeNack:
+		return nil // peer's control towards its own sender role
+	default:
+		return fmt.Errorf("transport: unexpected chunk type %v", c.Type)
+	}
+}
+
+// place writes the chunk's elements [lo, hi) (T.SN space) at their
+// connection-stream positions — immediate placement, the
+// latency/throughput win of Section 1.
+func (r *Receiver) place(c *chunk.Chunk, lo, hi uint64) {
+	es := uint64(c.Size)
+	off := (lo - c.T.SN) * es
+	n := (hi - lo) * es
+	dst := (c.C.SN + (lo - c.T.SN)) * es
+	if dst+n > uint64(len(r.stream)) {
+		grown := make([]byte, dst+n)
+		copy(grown, r.stream)
+		r.stream = grown
+	}
+	copy(r.stream[dst:dst+n], c.Payload[off:off+n])
+}
+
+// trackFrame records where external PDU c.X.ID sits in the stream.
+func (r *Receiver) trackFrame(c *chunk.Chunk) {
+	f := r.frames[c.X.ID]
+	if f == nil {
+		f = &frameRec{startElem: c.C.SN - c.X.SN}
+		r.frames[c.X.ID] = f
+	}
+	if c.X.ST {
+		f.endElems = c.X.SN + uint64(c.Len)
+		f.haveEnd = true
+	}
+}
+
+// after runs completion actions once a TPDU reaches a verdict:
+// acknowledge verified TPDUs (the ACK may be piggybacked by the packer
+// with other control, Appendix A).
+func (r *Receiver) after(tid uint32) {
+	v := r.ed.Verdict(tid)
+	if v == errdet.VerdictPending {
+		return
+	}
+	if v == errdet.VerdictEDMismatch && r.cfg.Repair {
+		if cor, ok := r.ed.Repair(tid); ok {
+			cor.Apply(r.stream, r.size())
+			r.repaired++
+			v = r.ed.Verdict(tid)
+		}
+	}
+	if r.cfg.OnTPDU != nil && !r.notified[tid] {
+		r.notified[tid] = true
+		r.cfg.OnTPDU(tid, v)
+	}
+	if v == errdet.VerdictOK {
+		// ACK on first completion AND on every later duplicate: a
+		// duplicate means the sender retransmitted, which means the
+		// previous ACK was lost.
+		r.acked[tid] = true
+		r.emit([]chunk.Chunk{Ack(r.cid, tid)})
+	}
+}
+
+// size returns the connection element size (signaled, defaulting to 4).
+func (r *Receiver) size() uint16 {
+	if r.elemSize == 0 {
+		return 4
+	}
+	return r.elemSize
+}
+
+// deliverFrames fires OnFrame for completed external PDUs.
+func (r *Receiver) deliverFrames(xid uint32) {
+	if r.cfg.OnFrame == nil || r.delivered[xid] {
+		return
+	}
+	f := r.frames[xid]
+	if f == nil || !f.haveEnd || !r.ed.XComplete(xid) {
+		return
+	}
+	r.delivered[xid] = true
+	es := uint64(r.size())
+	lo := f.startElem * es
+	hi := lo + f.endElems*es
+	if hi > uint64(len(r.stream)) {
+		return
+	}
+	r.cfg.OnFrame(xid, r.stream[lo:hi])
+}
+
+// Poll emits NACKs for every known-but-incomplete TPDU: missing data
+// intervals (plus an open-ended tail request while the TPDU's end is
+// unknown), or an empty interval list when only the ED chunk is
+// outstanding. Call once per pump round.
+func (r *Receiver) Poll() {
+	var ctrl []chunk.Chunk
+	for tid := range r.tids {
+		if r.acked[tid] || r.ed.Verdict(tid) != errdet.VerdictPending {
+			continue
+		}
+		miss := r.ed.Missing(tid)
+		haveEnd, high := r.ed.TPDUStatus(tid)
+		// Progress suppression: while data for this TPDU is still
+		// flowing in, hold the NACK — request retransmission only
+		// when a poll interval passes with no change.
+		fp := high<<16 ^ uint64(len(miss))<<1
+		if haveEnd {
+			fp |= 1
+		}
+		if prev, ok := r.progress[tid]; !ok || prev != fp {
+			r.progress[tid] = fp
+			r.stalled[tid] = 0
+			continue
+		}
+		// Stall escalation: a TPDU that keeps receiving
+		// retransmissions without converging had its verification
+		// state poisoned (e.g. a corrupted first chunk seeded wrong
+		// consistency baselines). Reset it and rebuild from the next
+		// retransmission.
+		r.stalled[tid]++
+		if r.stalled[tid] >= 4 {
+			r.stalled[tid] = 0
+			delete(r.progress, tid)
+			r.ed.ResetTPDU(tid)
+			ctrl = append(ctrl, Nack(r.cid, tid, []vr.Interval{{Lo: 0, Hi: ^uint64(0)}}))
+			continue
+		}
+		if !haveEnd {
+			// The T.ST chunk is lost: ask for everything from the
+			// highest element seen onward; the sender clips the
+			// request to the TPDU's real extent.
+			miss = append(miss, vr.Interval{Lo: high, Hi: ^uint64(0)})
+		}
+		ctrl = append(ctrl, Nack(r.cid, tid, miss))
+	}
+	if len(ctrl) > 0 {
+		r.emit(ctrl)
+	}
+}
+
+func (r *Receiver) emit(chs []chunk.Chunk) {
+	datagrams, err := r.pack.Encode(chs)
+	if err != nil {
+		return
+	}
+	for _, d := range datagrams {
+		r.out(d)
+	}
+}
+
+// Stream returns the application byte stream placed so far.
+func (r *Receiver) Stream() []byte { return r.stream }
+
+// Opened and Closed report signaling state.
+func (r *Receiver) Opened() bool { return r.opened }
+
+// Closed reports whether the close signal has arrived.
+func (r *Receiver) Closed() bool { return r.closed }
+
+// FinalCSN returns the element SN past the last data element, valid
+// once Closed.
+func (r *Receiver) FinalCSN() uint64 { return r.finalCSN }
+
+// Verified reports whether TPDU tid verified OK.
+func (r *Receiver) Verified(tid uint32) bool { return r.acked[tid] }
+
+// VerifiedCount returns how many TPDUs verified OK.
+func (r *Receiver) VerifiedCount() int { return len(r.acked) }
+
+// Findings exposes the error detection findings (for experiments).
+func (r *Receiver) Findings() []errdet.Finding { return r.ed.Findings() }
+
+// Repaired returns the number of TPDUs fixed by single-symbol error
+// correction (only nonzero when ReceiverConfig.Repair is set).
+func (r *Receiver) Repaired() int { return r.repaired }

@@ -1,0 +1,410 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+
+	"chunks/internal/chunk"
+	"chunks/internal/errdet"
+	"chunks/internal/packet"
+	"chunks/internal/vr"
+)
+
+// SenderConfig parameterises a connection sender.
+type SenderConfig struct {
+	// CID is the connection ID (non-multiplexed, [FELD 90]).
+	CID uint32
+	// MTU bounds outgoing datagrams.
+	MTU int
+	// ElemSize is the atomic element size (Section 2's SIZE).
+	ElemSize uint16
+	// TPDUElems is the initial TPDU size in elements.
+	TPDUElems int
+	// MinTPDUElems floors adaptive shrinking; 0 means 8.
+	MinTPDUElems int
+	// Adapt enables Kent/Mogul-response sizing: halve the TPDU on
+	// retransmission, grow it back on clean ACKs.
+	Adapt bool
+	// RetransmitAfter is the number of Poll rounds an unacked TPDU
+	// waits before being retransmitted wholesale; 0 means 3.
+	RetransmitAfter int
+	// Layout is the error detection invariant layout.
+	Layout errdet.Layout
+}
+
+func (c *SenderConfig) fill() {
+	if c.ElemSize == 0 {
+		c.ElemSize = 4
+	}
+	if c.TPDUElems == 0 {
+		c.TPDUElems = 256
+	}
+	if c.MinTPDUElems == 0 {
+		c.MinTPDUElems = 8
+	}
+	if c.RetransmitAfter == 0 {
+		c.RetransmitAfter = 3
+	}
+	if c.Layout.DataSymbols == 0 {
+		c.Layout = errdet.DefaultLayout()
+	}
+	if c.MTU == 0 {
+		c.MTU = 1400
+	}
+}
+
+// Sender errors.
+var (
+	ErrNotElemAligned = errors.New("transport: write not element-aligned")
+	ErrClosed         = errors.New("transport: connection closed")
+	ErrUnknownTPDU    = errors.New("transport: NACK for unknown TPDU")
+)
+
+// tpduRec is the sender-side state of one in-flight TPDU.
+type tpduRec struct {
+	chunks   []chunk.Chunk // pre-fragmentation chunks (identifiers reused verbatim on retransmission)
+	ed       chunk.Chunk
+	lastSent int // Poll round of last (re)transmission
+}
+
+// A Sender is the transmit side of one chunk connection. It is
+// single-goroutine (call sites serialize); output datagrams go to the
+// Send callback.
+type Sender struct {
+	cfg  SenderConfig
+	out  func(datagram []byte)
+	pack packet.Packer
+
+	buf        []byte   // application bytes not yet cut into a TPDU
+	bufStart   uint64   // element SN of buf[0]
+	frameCuts  []uint64 // absolute element SNs where a frame ends (exclusive)
+	curXID     uint32
+	frameStart uint64 // element SN where the current frame began
+
+	csn        uint64 // next element SN to assign
+	opened     bool
+	closed     bool
+	closeAcked bool
+	round      int
+
+	unacked map[uint32]*tpduRec
+
+	initialTPDUElems int
+	cleanAcks        int // consecutive ACKs since the last retransmission
+
+	// Counters for experiments.
+	TPDUsSent   int
+	Retransmits int
+	AcksSeen    int
+}
+
+// NewSender returns a Sender delivering datagrams via out.
+func NewSender(cfg SenderConfig, out func([]byte)) *Sender {
+	cfg.fill()
+	return &Sender{
+		cfg:              cfg,
+		out:              out,
+		pack:             packet.Packer{MTU: cfg.MTU},
+		curXID:           1,
+		unacked:          make(map[uint32]*tpduRec),
+		initialTPDUElems: cfg.TPDUElems,
+	}
+}
+
+// Config returns the current configuration (TPDUElems changes under
+// adaptation).
+func (s *Sender) Config() SenderConfig { return s.cfg }
+
+// Open emits the connection-establishment signal.
+func (s *Sender) Open() error {
+	if s.opened {
+		return nil
+	}
+	s.opened = true
+	return s.emit([]chunk.Chunk{SignalOpen(s.cfg.CID, s.cfg.ElemSize, s.csn)})
+}
+
+// Write appends element-aligned application bytes to the stream,
+// cutting and transmitting TPDUs as enough elements accumulate.
+func (s *Sender) Write(data []byte) error {
+	if s.closed {
+		return ErrClosed
+	}
+	if len(data)%int(s.cfg.ElemSize) != 0 {
+		return ErrNotElemAligned
+	}
+	if err := s.Open(); err != nil {
+		return err
+	}
+	s.buf = append(s.buf, data...)
+	// Cut lazily — keep one full TPDU's worth buffered — so an
+	// EndFrame landing exactly on a TPDU boundary can still mark the
+	// pending chunk's X.ST bit.
+	for s.bufElems() > s.cfg.TPDUElems {
+		if err := s.cutTPDU(s.cfg.TPDUElems); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EndFrame closes the current external PDU (ALF frame) at the current
+// stream position; the next element starts a new frame.
+func (s *Sender) EndFrame() {
+	end := s.bufStart + uint64(s.bufElems())
+	if end == s.frameStart {
+		return // empty frame
+	}
+	if len(s.frameCuts) > 0 && s.frameCuts[len(s.frameCuts)-1] == end {
+		return
+	}
+	s.frameCuts = append(s.frameCuts, end)
+}
+
+// Flush transmits any buffered elements as a final (short) TPDU.
+func (s *Sender) Flush() error {
+	if n := s.bufElems(); n > 0 {
+		return s.cutTPDU(n)
+	}
+	return nil
+}
+
+// Close flushes and emits the connection-close signal (the C.ST
+// position travels by signaling, Appendix A).
+func (s *Sender) Close() error {
+	if s.closed {
+		return nil
+	}
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	s.closed = true
+	return s.emit([]chunk.Chunk{SignalClose(s.cfg.CID, s.csn)})
+}
+
+func (s *Sender) bufElems() int { return len(s.buf) / int(s.cfg.ElemSize) }
+
+// cutTPDU turns the first n buffered elements into one TPDU, splits it
+// at frame boundaries, transmits it with its ED chunk, and records it
+// for retransmission.
+func (s *Sender) cutTPDU(n int) error {
+	es := int(s.cfg.ElemSize)
+	start := s.bufStart
+	end := start + uint64(n)
+	payload := s.buf[:n*es]
+
+	tid := uint32(start) // implicit-friendly T.ID (Figure 7)
+	var chs []chunk.Chunk
+	cur := start
+	for cur < end {
+		// Cut at the next frame boundary inside (cur, end].
+		segEnd := end
+		xst := false
+		for _, cut := range s.frameCuts {
+			if cut > cur && cut <= end {
+				segEnd = cut
+				xst = true
+				break
+			}
+		}
+		lo, hi := (cur-start)*uint64(es), (segEnd-start)*uint64(es)
+		c := chunk.Chunk{
+			Type: chunk.TypeData, Size: s.cfg.ElemSize, Len: uint32(segEnd - cur),
+			C:       chunk.Tuple{ID: s.cfg.CID, SN: cur},
+			T:       chunk.Tuple{ID: tid, SN: cur - start, ST: segEnd == end},
+			X:       chunk.Tuple{ID: s.curXID, SN: cur - s.frameStart, ST: xst},
+			Payload: append([]byte(nil), payload[lo:hi]...),
+		}
+		chs = append(chs, c)
+		if xst {
+			s.curXID++
+			s.frameStart = segEnd
+		}
+		cur = segEnd
+	}
+	// Drop consumed frame cuts.
+	var rest []uint64
+	for _, cut := range s.frameCuts {
+		if cut > end {
+			rest = append(rest, cut)
+		}
+	}
+	s.frameCuts = rest
+
+	par, err := errdet.Encode(s.cfg.Layout, chs)
+	if err != nil {
+		return fmt.Errorf("transport: encode TPDU %d: %w", tid, err)
+	}
+	ed := errdet.EDChunk(s.cfg.CID, tid, start, par)
+
+	s.unacked[tid] = &tpduRec{chunks: chs, ed: ed, lastSent: s.round}
+	s.buf = s.buf[n*es:]
+	s.bufStart = end
+	s.csn = end
+	s.TPDUsSent++
+
+	return s.emit(append(append([]chunk.Chunk{}, chs...), ed))
+}
+
+// emit packs chunks into datagrams and sends them.
+func (s *Sender) emit(chs []chunk.Chunk) error {
+	datagrams, err := s.pack.Encode(chs)
+	if err != nil {
+		return err
+	}
+	for _, d := range datagrams {
+		s.out(d)
+	}
+	return nil
+}
+
+// HandleControl processes a control chunk (ACK/NACK) from the peer.
+func (s *Sender) HandleControl(c *chunk.Chunk) error {
+	switch c.Type {
+	case chunk.TypeAck:
+		tid, err := ParseAck(c)
+		if err != nil {
+			return err
+		}
+		if tid == CloseAckTID {
+			s.closeAcked = true
+			s.AcksSeen++
+			return nil
+		}
+		if _, ok := s.unacked[tid]; ok {
+			delete(s.unacked, tid)
+			s.AcksSeen++
+			s.grow()
+		}
+		return nil
+	case chunk.TypeNack:
+		tid, missing, err := ParseNack(c)
+		if err != nil {
+			return err
+		}
+		return s.retransmit(tid, missing)
+	default:
+		return nil // data/signal chunks are not sender business
+	}
+}
+
+// retransmit re-sends the requested element intervals of a TPDU using
+// the ORIGINAL identifiers (Section 3.3: "retransmitted data should
+// use the same identifiers as the originally transmitted data"), plus
+// the ED chunk. An empty interval list re-sends only the ED chunk.
+func (s *Sender) retransmit(tid uint32, missing []vr.Interval) error {
+	rec, ok := s.unacked[tid]
+	if !ok {
+		return nil // already acked; stale NACK
+	}
+	s.Retransmits++
+	s.adapt()
+	var out []chunk.Chunk
+	for _, iv := range missing {
+		for i := range rec.chunks {
+			if sub, ok := subChunk(&rec.chunks[i], iv); ok {
+				out = append(out, sub)
+			}
+		}
+	}
+	out = append(out, rec.ed)
+	rec.lastSent = s.round
+	return s.emit(out)
+}
+
+// subChunk extracts the overlap of chunk c with T.SN interval iv,
+// preserving identity per the Appendix C rules.
+func subChunk(c *chunk.Chunk, iv vr.Interval) (chunk.Chunk, bool) {
+	lo, hi := c.T.SN, c.T.SN+uint64(c.Len)
+	if iv.Lo > lo {
+		lo = iv.Lo
+	}
+	if iv.Hi < hi {
+		hi = iv.Hi
+	}
+	if lo >= hi {
+		return chunk.Chunk{}, false
+	}
+	off := lo - c.T.SN
+	n := hi - lo
+	isTail := hi == c.T.SN+uint64(c.Len)
+	es := uint64(c.Size)
+	sub := chunk.Chunk{
+		Type: c.Type, Size: c.Size, Len: uint32(n),
+		C:       chunk.Tuple{ID: c.C.ID, SN: c.C.SN + off, ST: isTail && c.C.ST},
+		T:       chunk.Tuple{ID: c.T.ID, SN: lo, ST: isTail && c.T.ST},
+		X:       chunk.Tuple{ID: c.X.ID, SN: c.X.SN + off, ST: isTail && c.X.ST},
+		Payload: c.Payload[off*es : (off+n)*es],
+	}
+	return sub, true
+}
+
+// adapt shrinks the TPDU size in response to a retransmission —
+// Kent & Mogul's objection answered: "reduce its TPDU size to match
+// the observed network error rate".
+func (s *Sender) adapt() {
+	if !s.cfg.Adapt {
+		return
+	}
+	s.cleanAcks = 0
+	if s.cfg.TPDUElems/2 >= s.cfg.MinTPDUElems {
+		s.cfg.TPDUElems /= 2
+	}
+}
+
+// grow restores the TPDU size after sustained clean delivery: eight
+// consecutive ACKs without a retransmission double it, up to the
+// configured initial size.
+func (s *Sender) grow() {
+	if !s.cfg.Adapt || s.cfg.TPDUElems >= s.initialTPDUElems {
+		return
+	}
+	s.cleanAcks++
+	if s.cleanAcks >= 8 {
+		s.cleanAcks = 0
+		s.cfg.TPDUElems *= 2
+		if s.cfg.TPDUElems > s.initialTPDUElems {
+			s.cfg.TPDUElems = s.initialTPDUElems
+		}
+	}
+}
+
+// Poll advances the retransmission clock one round: unacked TPDUs
+// older than RetransmitAfter rounds are re-sent whole (identifiers
+// unchanged). Call it once per pump iteration.
+func (s *Sender) Poll() error {
+	s.round++
+	// Signaling chunks are not covered by ACKs, so they are repeated
+	// on the timer: the open signal until the first ACK proves the
+	// peer is hearing us, the close signal for as long as we poll.
+	if s.opened && s.AcksSeen == 0 && len(s.unacked) > 0 {
+		if err := s.emit([]chunk.Chunk{SignalOpen(s.cfg.CID, s.cfg.ElemSize, 0)}); err != nil {
+			return err
+		}
+	}
+	if s.closed && !s.closeAcked {
+		if err := s.emit([]chunk.Chunk{SignalClose(s.cfg.CID, s.csn)}); err != nil {
+			return err
+		}
+	}
+	for _, rec := range s.unacked {
+		if s.round-rec.lastSent >= s.cfg.RetransmitAfter {
+			s.Retransmits++
+			s.adapt()
+			rec.lastSent = s.round
+			if err := s.emit(append(append([]chunk.Chunk{}, rec.chunks...), rec.ed)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Unacked returns the number of TPDUs awaiting acknowledgment.
+func (s *Sender) Unacked() int { return len(s.unacked) }
+
+// Drained reports full quiescence: every TPDU acknowledged and, if the
+// connection was closed, the close signal acknowledged too.
+func (s *Sender) Drained() bool {
+	return len(s.unacked) == 0 && (!s.closed || s.closeAcked)
+}

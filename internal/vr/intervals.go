@@ -1,0 +1,149 @@
+// Package vr implements virtual reassembly (Section 3.3): "keeping
+// track of the received fragments to determine when all of the
+// fragments of a PDU have been received", without physically
+// reassembling anything. Completion of virtual reassembly is the
+// signal that an incrementally computed error detection code is ready
+// to be compared with the received code, and duplicate detection here
+// is what keeps duplicates from corrupting that incremental
+// computation ("we want to avoid processing the same TPDU piece
+// twice") and from overwriting good data with a corrupted copy.
+//
+// The paper cites VLSI implementations of this function [STER 92],
+// [MCAU 93b]; this package is the software equivalent with the same
+// semantics.
+package vr
+
+import "fmt"
+
+// An Interval is a half-open range [Lo, Hi) of element sequence
+// numbers.
+type Interval struct {
+	Lo, Hi uint64
+}
+
+// Len returns the number of elements covered.
+func (iv Interval) Len() uint64 { return iv.Hi - iv.Lo }
+
+func (iv Interval) String() string { return fmt.Sprintf("[%d,%d)", iv.Lo, iv.Hi) }
+
+// An IntervalSet is a set of element positions stored as sorted,
+// disjoint, non-adjacent intervals. The zero value is an empty set.
+type IntervalSet struct {
+	ivs []Interval
+}
+
+// Add inserts [lo, hi) and returns the sub-intervals that were NOT
+// already present — the "fresh" data. A fully duplicate insert returns
+// nil. Partial overlaps return only the new parts, letting callers
+// process (checksum, place) each element exactly once.
+func (s *IntervalSet) Add(lo, hi uint64) []Interval {
+	if lo >= hi {
+		return nil
+	}
+	var fresh []Interval
+	cur := lo
+	// Walk existing intervals overlapping or beyond [lo, hi).
+	i := 0
+	for i < len(s.ivs) && s.ivs[i].Hi < lo {
+		i++
+	}
+	for j := i; j < len(s.ivs) && s.ivs[j].Lo < hi; j++ {
+		if cur < s.ivs[j].Lo {
+			fresh = append(fresh, Interval{cur, s.ivs[j].Lo})
+		}
+		if s.ivs[j].Hi > cur {
+			cur = s.ivs[j].Hi
+		}
+	}
+	if cur < hi {
+		fresh = append(fresh, Interval{cur, hi})
+	}
+	if len(fresh) == 0 {
+		return nil
+	}
+	// Splice: replace all intervals overlapping/adjacent to [lo,hi)
+	// with one merged interval.
+	newLo, newHi := lo, hi
+	k := i
+	for k < len(s.ivs) && s.ivs[k].Lo <= hi {
+		if s.ivs[k].Lo < newLo {
+			newLo = s.ivs[k].Lo
+		}
+		if s.ivs[k].Hi > newHi {
+			newHi = s.ivs[k].Hi
+		}
+		k++
+	}
+	merged := append(s.ivs[:i:i], Interval{newLo, newHi})
+	s.ivs = append(merged, s.ivs[k:]...)
+	return fresh
+}
+
+// Contains reports whether position sn is present.
+func (s *IntervalSet) Contains(sn uint64) bool {
+	for _, iv := range s.ivs {
+		if sn < iv.Lo {
+			return false
+		}
+		if sn < iv.Hi {
+			return true
+		}
+	}
+	return false
+}
+
+// Covered reports whether every position in [lo, hi) is present.
+func (s *IntervalSet) Covered(lo, hi uint64) bool {
+	if lo >= hi {
+		return true
+	}
+	for _, iv := range s.ivs {
+		if iv.Lo <= lo && hi <= iv.Hi {
+			return true
+		}
+	}
+	return false
+}
+
+// Total returns the number of elements in the set.
+func (s *IntervalSet) Total() uint64 {
+	var n uint64
+	for _, iv := range s.ivs {
+		n += iv.Len()
+	}
+	return n
+}
+
+// Spans returns a copy of the interval list (sorted, disjoint).
+func (s *IntervalSet) Spans() []Interval {
+	return append([]Interval(nil), s.ivs...)
+}
+
+// Gaps returns the missing intervals within [0, hi) — the data a
+// selective retransmission (NACK) would request.
+func (s *IntervalSet) Gaps(hi uint64) []Interval {
+	var out []Interval
+	cur := uint64(0)
+	for _, iv := range s.ivs {
+		if iv.Lo >= hi {
+			break
+		}
+		if cur < iv.Lo {
+			out = append(out, Interval{cur, iv.Lo})
+		}
+		if iv.Hi > cur {
+			cur = iv.Hi
+		}
+	}
+	if cur < hi {
+		out = append(out, Interval{cur, hi})
+	}
+	return out
+}
+
+// Fragments returns the number of stored intervals — a proxy for
+// tracker state size (the VLSI unit's CAM occupancy).
+func (s *IntervalSet) Fragments() int { return len(s.ivs) }
+
+// Reset empties the set.
+func (s *IntervalSet) Reset() { s.ivs = s.ivs[:0] }

@@ -1,0 +1,236 @@
+package vr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddDisjoint(t *testing.T) {
+	var s IntervalSet
+	if fresh := s.Add(0, 5); len(fresh) != 1 || fresh[0] != (Interval{0, 5}) {
+		t.Fatalf("fresh = %v", fresh)
+	}
+	if fresh := s.Add(10, 15); len(fresh) != 1 || fresh[0] != (Interval{10, 15}) {
+		t.Fatalf("fresh = %v", fresh)
+	}
+	if s.Total() != 10 || s.Fragments() != 2 {
+		t.Fatalf("Total=%d Fragments=%d", s.Total(), s.Fragments())
+	}
+}
+
+func TestAddDuplicate(t *testing.T) {
+	var s IntervalSet
+	s.Add(0, 10)
+	if fresh := s.Add(2, 8); fresh != nil {
+		t.Fatalf("full duplicate returned %v", fresh)
+	}
+	if fresh := s.Add(0, 10); fresh != nil {
+		t.Fatalf("exact duplicate returned %v", fresh)
+	}
+	if s.Total() != 10 || s.Fragments() != 1 {
+		t.Fatal("duplicates must not change the set")
+	}
+}
+
+func TestAddPartialOverlap(t *testing.T) {
+	var s IntervalSet
+	s.Add(5, 10)
+	fresh := s.Add(0, 7)
+	if len(fresh) != 1 || fresh[0] != (Interval{0, 5}) {
+		t.Fatalf("fresh = %v, want [0,5)", fresh)
+	}
+	fresh = s.Add(8, 15)
+	if len(fresh) != 1 || fresh[0] != (Interval{10, 15}) {
+		t.Fatalf("fresh = %v, want [10,15)", fresh)
+	}
+	if s.Fragments() != 1 || s.Total() != 15 {
+		t.Fatalf("set = %v", s.Spans())
+	}
+}
+
+func TestAddBridgesGap(t *testing.T) {
+	var s IntervalSet
+	s.Add(0, 3)
+	s.Add(7, 10)
+	fresh := s.Add(2, 8)
+	if len(fresh) != 1 || fresh[0] != (Interval{3, 7}) {
+		t.Fatalf("fresh = %v, want [3,7)", fresh)
+	}
+	if s.Fragments() != 1 || !s.Covered(0, 10) {
+		t.Fatalf("set = %v", s.Spans())
+	}
+}
+
+func TestAddSpansMultiple(t *testing.T) {
+	var s IntervalSet
+	s.Add(2, 4)
+	s.Add(6, 8)
+	s.Add(10, 12)
+	fresh := s.Add(0, 14)
+	want := []Interval{{0, 2}, {4, 6}, {8, 10}, {12, 14}}
+	if len(fresh) != len(want) {
+		t.Fatalf("fresh = %v", fresh)
+	}
+	for i := range want {
+		if fresh[i] != want[i] {
+			t.Fatalf("fresh = %v, want %v", fresh, want)
+		}
+	}
+	if s.Fragments() != 1 || s.Total() != 14 {
+		t.Fatalf("set = %v", s.Spans())
+	}
+}
+
+func TestAddAdjacentCoalesces(t *testing.T) {
+	var s IntervalSet
+	s.Add(0, 5)
+	s.Add(5, 10)
+	if s.Fragments() != 1 || s.Total() != 10 {
+		t.Fatalf("adjacent intervals must coalesce: %v", s.Spans())
+	}
+}
+
+func TestAddEmpty(t *testing.T) {
+	var s IntervalSet
+	if s.Add(5, 5) != nil || s.Add(7, 3) != nil {
+		t.Fatal("empty or inverted ranges must be no-ops")
+	}
+}
+
+func TestContainsCovered(t *testing.T) {
+	var s IntervalSet
+	s.Add(3, 6)
+	s.Add(9, 12)
+	for sn, want := range map[uint64]bool{2: false, 3: true, 5: true, 6: false, 9: true, 11: true, 12: false} {
+		if s.Contains(sn) != want {
+			t.Errorf("Contains(%d) = %v", sn, !want)
+		}
+	}
+	if !s.Covered(3, 6) || !s.Covered(10, 12) {
+		t.Fatal("covered ranges misreported")
+	}
+	if s.Covered(3, 7) || s.Covered(5, 10) {
+		t.Fatal("uncovered ranges misreported")
+	}
+	if !s.Covered(4, 4) {
+		t.Fatal("empty range is trivially covered")
+	}
+}
+
+func TestGaps(t *testing.T) {
+	var s IntervalSet
+	s.Add(2, 4)
+	s.Add(6, 8)
+	gaps := s.Gaps(10)
+	want := []Interval{{0, 2}, {4, 6}, {8, 10}}
+	if len(gaps) != len(want) {
+		t.Fatalf("gaps = %v", gaps)
+	}
+	for i := range want {
+		if gaps[i] != want[i] {
+			t.Fatalf("gaps = %v, want %v", gaps, want)
+		}
+	}
+	if g := s.Gaps(4); len(g) != 1 || g[0] != (Interval{0, 2}) {
+		t.Fatalf("Gaps(4) = %v", g)
+	}
+	var empty IntervalSet
+	if g := empty.Gaps(5); len(g) != 1 || g[0] != (Interval{0, 5}) {
+		t.Fatalf("empty Gaps(5) = %v", g)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var s IntervalSet
+	s.Add(0, 5)
+	s.Reset()
+	if s.Total() != 0 || s.Fragments() != 0 {
+		t.Fatal("Reset must empty the set")
+	}
+}
+
+// TestIntervalSetAgainstBitmap cross-checks the interval implementation
+// against a naive bitmap model over randomized operations, including
+// that Add returns exactly the freshly-covered positions.
+func TestIntervalSetAgainstBitmap(t *testing.T) {
+	const universe = 200
+	f := func(ops []struct{ Lo, N uint8 }) bool {
+		var s IntervalSet
+		var bm [universe]bool
+		for _, op := range ops {
+			lo := uint64(op.Lo) % universe
+			hi := lo + uint64(op.N)%32
+			if hi > universe {
+				hi = universe
+			}
+			fresh := s.Add(lo, hi)
+			// fresh must be exactly the previously-false positions.
+			var freshCount uint64
+			for _, iv := range fresh {
+				for p := iv.Lo; p < iv.Hi; p++ {
+					if bm[p] {
+						return false // claimed fresh but already present
+					}
+					freshCount++
+				}
+			}
+			var wantFresh uint64
+			for p := lo; p < hi; p++ {
+				if !bm[p] {
+					wantFresh++
+					bm[p] = true
+				}
+			}
+			if freshCount != wantFresh {
+				return false
+			}
+		}
+		// Final-state agreement.
+		for p := uint64(0); p < universe; p++ {
+			if s.Contains(p) != bm[p] {
+				return false
+			}
+		}
+		var total uint64
+		for _, v := range bm {
+			if v {
+				total++
+			}
+		}
+		return s.Total() == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpansIsolation(t *testing.T) {
+	var s IntervalSet
+	s.Add(0, 5)
+	spans := s.Spans()
+	spans[0].Hi = 100
+	if s.Covered(0, 100) {
+		t.Fatal("Spans must return a copy")
+	}
+}
+
+func BenchmarkAddSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var s IntervalSet
+		for j := uint64(0); j < 256; j++ {
+			s.Add(j*4, j*4+4)
+		}
+	}
+}
+
+func BenchmarkAddRandomOrder(b *testing.B) {
+	order := rand.New(rand.NewSource(5)).Perm(256)
+	for i := 0; i < b.N; i++ {
+		var s IntervalSet
+		for _, j := range order {
+			lo := uint64(j) * 4
+			s.Add(lo, lo+4)
+		}
+	}
+}

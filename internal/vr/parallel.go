@@ -1,0 +1,79 @@
+package vr
+
+import "sync"
+
+// ParallelTracker is the software equivalent of the parallel assembly
+// hardware the paper cites ([MCAU 93b], [STER 92]): virtual
+// reassembly state sharded by PDU identity so independent PDUs are
+// tracked concurrently. Because chunks are self-describing, any chunk
+// can be routed to its shard from the header alone — the property
+// that makes the paper's "more modularity and parallelism" claim work
+// (Section 5, Appendix A: chunks "can be demultiplexed via the TYPE
+// field and routed to the appropriate processing units").
+//
+// Sharding is by PDU key hash; each shard is an independently locked
+// Tracker, so goroutines processing different PDUs proceed without
+// contention, while chunks of one PDU serialize on its shard (the
+// per-PDU state is inherently sequential).
+type ParallelTracker struct {
+	shards []shard
+}
+
+type shard struct {
+	mu sync.Mutex
+	tr Tracker
+}
+
+// NewParallelTracker returns a tracker with n shards (n < 1 is
+// treated as 1).
+func NewParallelTracker(n int) *ParallelTracker {
+	if n < 1 {
+		n = 1
+	}
+	return &ParallelTracker{shards: make([]shard, n)}
+}
+
+// Shards returns the shard count.
+func (p *ParallelTracker) Shards() int { return len(p.shards) }
+
+func (p *ParallelTracker) shard(key Key) *shard {
+	// Fibonacci hashing over the key.
+	h := (uint64(key.ID)*2 + uint64(key.Level)) * 0x9E3779B97F4A7C15
+	return &p.shards[h%uint64(len(p.shards))]
+}
+
+// Add records chunk data for a PDU; safe for concurrent use.
+func (p *ParallelTracker) Add(key Key, sn, n uint64, st bool) ([]Interval, error) {
+	s := p.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tr.Add(key, sn, n, st)
+}
+
+// Complete reports whether the PDU has fully arrived; safe for
+// concurrent use.
+func (p *ParallelTracker) Complete(key Key) bool {
+	s := p.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tr.Complete(key)
+}
+
+// Retire discards a finished PDU's state; safe for concurrent use.
+func (p *ParallelTracker) Retire(key Key) {
+	s := p.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tr.Retire(key)
+}
+
+// Active returns the total in-progress PDU count across shards.
+func (p *ParallelTracker) Active() int {
+	n := 0
+	for i := range p.shards {
+		p.shards[i].mu.Lock()
+		n += p.shards[i].tr.Active()
+		p.shards[i].mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,110 @@
+package vr
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestParallelTrackerBasics(t *testing.T) {
+	p := NewParallelTracker(4)
+	if p.Shards() != 4 {
+		t.Fatalf("Shards = %d", p.Shards())
+	}
+	k := Key{LevelT, 1}
+	if _, err := p.Add(k, 0, 4, true); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Complete(k) {
+		t.Fatal("PDU must complete")
+	}
+	if p.Active() != 1 {
+		t.Fatalf("Active = %d", p.Active())
+	}
+	p.Retire(k)
+	if p.Active() != 0 {
+		t.Fatal("retired PDU still active")
+	}
+	if NewParallelTracker(0).Shards() != 1 {
+		t.Fatal("n<1 must clamp to 1")
+	}
+}
+
+// TestParallelTrackerConcurrent: many goroutines tracking many PDUs
+// concurrently; every PDU must complete exactly as with the serial
+// tracker. Run with -race.
+func TestParallelTrackerConcurrent(t *testing.T) {
+	const pdus = 64
+	const fragsPer = 16
+	p := NewParallelTracker(8)
+
+	type frag struct {
+		key Key
+		sn  uint64
+		st  bool
+	}
+	var all []frag
+	for id := uint32(0); id < pdus; id++ {
+		for f := uint64(0); f < fragsPer; f++ {
+			all = append(all, frag{Key{LevelT, id}, f * 8, f == fragsPer-1})
+		}
+	}
+	rand.New(rand.NewSource(1)).Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	per := (len(all) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := lo + per
+		if hi > len(all) {
+			hi = len(all)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(fs []frag) {
+			defer wg.Done()
+			for _, f := range fs {
+				if _, err := p.Add(f.key, f.sn, 8, f.st); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(all[lo:hi])
+	}
+	wg.Wait()
+	for id := uint32(0); id < pdus; id++ {
+		if !p.Complete(Key{LevelT, id}) {
+			t.Fatalf("PDU %d incomplete", id)
+		}
+	}
+}
+
+// BenchmarkParallelTrackerShards shows the throughput scaling the
+// VLSI-parallel-assembly substitution models.
+func BenchmarkParallelTrackerShards(b *testing.B) {
+	mkWork := func() []Key {
+		keys := make([]Key, 256)
+		for i := range keys {
+			keys[i] = Key{LevelT, uint32(i)}
+		}
+		return keys
+	}
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(map[int]string{1: "shards-1", 4: "shards-4", 16: "shards-16"}[shards], func(b *testing.B) {
+			keys := mkWork()
+			b.RunParallel(func(pb *testing.PB) {
+				tr := NewParallelTracker(shards)
+				i := 0
+				for pb.Next() {
+					k := keys[i%len(keys)]
+					_, _ = tr.Add(k, uint64(i%16)*8, 8, false)
+					i++
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,206 @@
+package vr
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestPDUCompletion(t *testing.T) {
+	var p PDU
+	if p.Complete() {
+		t.Fatal("empty PDU is not complete")
+	}
+	if _, err := p.Add(0, 4, false); err != nil {
+		t.Fatal(err)
+	}
+	if p.Complete() {
+		t.Fatal("end unknown: cannot be complete")
+	}
+	if _, err := p.Add(8, 2, true); err != nil { // elements 8,9; end=10
+		t.Fatal(err)
+	}
+	if p.Complete() {
+		t.Fatal("gap [4,8) remains")
+	}
+	if end, ok := p.End(); !ok || end != 10 {
+		t.Fatalf("End = %d,%v", end, ok)
+	}
+	if _, err := p.Add(4, 4, false); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Complete() {
+		t.Fatalf("PDU must be complete; missing %v", p.Missing())
+	}
+	if p.Received() != 10 {
+		t.Fatalf("Received = %d", p.Received())
+	}
+}
+
+func TestPDUDuplicates(t *testing.T) {
+	var p PDU
+	fresh, _ := p.Add(0, 5, false)
+	if len(fresh) != 1 {
+		t.Fatalf("fresh = %v", fresh)
+	}
+	fresh, _ = p.Add(0, 5, false)
+	if fresh != nil {
+		t.Fatal("retransmission must be reported as duplicate")
+	}
+	// Partial retransmission overlapping new data.
+	fresh, _ = p.Add(3, 5, false) // [3,8): only [5,8) fresh
+	if len(fresh) != 1 || fresh[0] != (Interval{5, 8}) {
+		t.Fatalf("fresh = %v", fresh)
+	}
+}
+
+func TestPDUConflictingEnd(t *testing.T) {
+	var p PDU
+	if _, err := p.Add(4, 2, true); err != nil { // end = 6
+		t.Fatal(err)
+	}
+	if _, err := p.Add(8, 1, true); !errors.Is(err, ErrConflictingEnd) {
+		t.Fatalf("want ErrConflictingEnd, got %v", err)
+	}
+	// Same end again is fine (retransmitted final chunk).
+	if _, err := p.Add(4, 2, true); err != nil {
+		t.Fatalf("retransmitted final chunk: %v", err)
+	}
+}
+
+func TestPDUBeyondEnd(t *testing.T) {
+	var p PDU
+	_, _ = p.Add(4, 2, true) // end = 6
+	if _, err := p.Add(6, 3, false); !errors.Is(err, ErrBeyondEnd) {
+		t.Fatalf("want ErrBeyondEnd, got %v", err)
+	}
+}
+
+func TestPDUZeroLength(t *testing.T) {
+	var p PDU
+	fresh, err := p.Add(3, 0, false)
+	if fresh != nil || err != nil {
+		t.Fatal("zero-length add must be a no-op")
+	}
+}
+
+func TestPDUMissing(t *testing.T) {
+	var p PDU
+	_, _ = p.Add(2, 2, false) // [2,4)
+	_, _ = p.Add(8, 2, true)  // [8,10), end known
+	miss := p.Missing()
+	want := []Interval{{0, 2}, {4, 8}}
+	if len(miss) != 2 || miss[0] != want[0] || miss[1] != want[1] {
+		t.Fatalf("Missing = %v, want %v", miss, want)
+	}
+	// Without a known end, Missing reports internal gaps only.
+	var q PDU
+	_, _ = q.Add(5, 5, false)
+	miss = q.Missing()
+	if len(miss) != 1 || miss[0] != (Interval{0, 5}) {
+		t.Fatalf("Missing = %v", miss)
+	}
+	var empty PDU
+	if empty.Missing() != nil {
+		t.Fatal("empty PDU has no expressible gaps")
+	}
+}
+
+// TestPDUOrderIndependence: completion is reached at the same point
+// regardless of arrival order — the property that lets a receiver
+// process chunks as they arrive.
+func TestPDUOrderIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	type frag struct {
+		sn, n uint64
+		st    bool
+	}
+	frags := []frag{{0, 3, false}, {3, 3, false}, {6, 3, false}, {9, 1, true}}
+	for trial := 0; trial < 20; trial++ {
+		order := rng.Perm(len(frags))
+		var p PDU
+		for i, idx := range order {
+			f := frags[idx]
+			if _, err := p.Add(f.sn, f.n, f.st); err != nil {
+				t.Fatal(err)
+			}
+			if complete := p.Complete(); complete != (i == len(order)-1) {
+				t.Fatalf("trial %d: complete=%v after %d of %d fragments", trial, complete, i+1, len(order))
+			}
+		}
+	}
+}
+
+func TestTrackerKeys(t *testing.T) {
+	var tr Tracker
+	kT := Key{LevelT, 1}
+	kX := Key{LevelX, 1} // same ID, different level: distinct PDU
+	if _, err := tr.Add(kT, 0, 4, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Add(kX, 0, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Complete(kT) {
+		t.Fatal("T PDU complete")
+	}
+	if tr.Complete(kX) {
+		t.Fatal("X PDU incomplete")
+	}
+	if tr.Active() != 2 {
+		t.Fatalf("Active = %d", tr.Active())
+	}
+}
+
+func TestTrackerRetire(t *testing.T) {
+	var tr Tracker
+	k := Key{LevelT, 5}
+	_, _ = tr.Add(k, 0, 4, true)
+	if !tr.Complete(k) {
+		t.Fatal("should be complete")
+	}
+	tr.Retire(k)
+	if tr.Active() != 0 {
+		t.Fatal("retired PDU still active")
+	}
+	if !tr.Complete(k) {
+		t.Fatal("retired PDU must still read as complete")
+	}
+	// A late duplicate of a retired PDU is recognised as duplicate.
+	fresh, err := tr.Add(k, 0, 4, true)
+	if err != nil || fresh != nil {
+		t.Fatalf("late duplicate: fresh=%v err=%v", fresh, err)
+	}
+}
+
+func TestTrackerFragments(t *testing.T) {
+	var tr Tracker
+	_, _ = tr.Add(Key{LevelT, 1}, 0, 2, false)
+	_, _ = tr.Add(Key{LevelT, 1}, 6, 2, false)
+	_, _ = tr.Add(Key{LevelT, 2}, 0, 2, false)
+	if tr.Fragments() != 3 {
+		t.Fatalf("Fragments = %d", tr.Fragments())
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if LevelT.String() != "T" || LevelX.String() != "X" {
+		t.Fatal("Level strings")
+	}
+}
+
+func BenchmarkTrackerBulk(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var tr Tracker
+		for pdu := uint32(0); pdu < 16; pdu++ {
+			k := Key{LevelT, pdu}
+			for f := uint64(0); f < 16; f++ {
+				_, _ = tr.Add(k, f*64, 64, f == 15)
+			}
+			if !tr.Complete(k) {
+				b.Fatal("incomplete")
+			}
+			tr.Retire(k)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package wsc
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// Baseline error detection codes for the P5 experiment (Section 4,
+// footnote 11): "The TCP checksum can be computed on disordered data,
+// but has less powerful error detection properties than both CRC and
+// WSC-2. A CRC cannot be computed on disordered data."
+//
+// CRC32 here stands in for the CRC family: its value depends on byte
+// order, so a receiver must buffer and reorder before checksumming.
+// InternetChecksum is the TCP/IP one's-complement sum: order-
+// independent but blind to, e.g., swapped 16-bit words and balanced
+// bit flips that WSC-2's weighted parity catches.
+
+// CRC32 returns the IEEE CRC-32 of b. It is order-DEPENDENT: the same
+// multiset of fragments in a different concatenation order yields a
+// different value, so it cannot be accumulated over disordered chunks.
+func CRC32(b []byte) uint32 { return crc32.ChecksumIEEE(b) }
+
+// InternetChecksum returns the RFC 1071 one's-complement sum of b
+// (without final inversion). It IS order-independent at 16-bit
+// granularity — the TCP checksum property the paper's footnote cites —
+// but detects strictly fewer error patterns than WSC-2.
+func InternetChecksum(b []byte) uint16 {
+	var sum uint32
+	n := len(b) &^ 1
+	for i := 0; i < n; i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xFFFF + sum>>16
+	}
+	return uint16(sum)
+}
+
+// InternetChecksumCombine folds the checksum of a fragment that starts
+// at an even byte offset into an accumulated checksum; this is how TCP
+// could checksum disordered even-aligned fragments.
+func InternetChecksumCombine(acc, frag uint16) uint16 {
+	sum := uint32(acc) + uint32(frag)
+	for sum>>16 != 0 {
+		sum = sum&0xFFFF + sum>>16
+	}
+	return uint16(sum)
+}

@@ -1,0 +1,55 @@
+package wsc
+
+import (
+	"sync"
+
+	"chunks/internal/gf"
+)
+
+// Discrete logarithm base Alpha in GF(2^32)* via baby-step/giant-step.
+// The group order is 2^32-1, so m = 2^16 baby steps suffice. The baby
+// table costs 2^16 entries and is built lazily once; each query then
+// performs at most 2^16 giant steps. This supports single-symbol error
+// location (LocateSingleError) — a demonstration of WSC-2's power, not
+// a datapath operation.
+
+const dlogM = 1 << 16
+
+var (
+	dlogOnce  sync.Once
+	babyTable map[uint32]uint32 // α^j -> j for j in [0, m)
+	giantStep uint32            // α^(-m)
+)
+
+func dlogInit() {
+	babyTable = make(map[uint32]uint32, dlogM)
+	v := uint32(1)
+	for j := uint32(0); j < dlogM; j++ {
+		// First writer wins so the smallest exponent is recorded;
+		// with a primitive alpha there are no collisions below the
+		// group order anyway.
+		if _, dup := babyTable[v]; !dup {
+			babyTable[v] = j
+		}
+		v = gf.MulAlpha(v)
+	}
+	giantStep = gf.Inv(gf.Pow(gf.Alpha, dlogM))
+}
+
+// dlogAlpha returns e such that Alpha^e == x, and whether it exists
+// (it does for every nonzero x since Alpha is primitive; x == 0 has no
+// logarithm).
+func dlogAlpha(x uint32) (uint64, bool) {
+	if x == 0 {
+		return 0, false
+	}
+	dlogOnce.Do(dlogInit)
+	cur := x
+	for i := uint64(0); i <= gf.Order/dlogM; i++ {
+		if j, ok := babyTable[cur]; ok {
+			return i*dlogM + uint64(j), true
+		}
+		cur = gf.Mul(cur, giantStep)
+	}
+	return 0, false
+}

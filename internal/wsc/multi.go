@@ -1,0 +1,112 @@
+package wsc
+
+import (
+	"errors"
+
+	"chunks/internal/gf"
+)
+
+// WSC-k generalization (extension): McAuley's weighted sum codes form
+// a family; the paper uses k=2. A k-parity accumulator computes
+//
+//	P_j = Σ (α^j)^i · d_i     for j = 0..k-1
+//
+// which are Reed–Solomon syndromes over the locators α^i. Because a
+// k×k Vandermonde matrix on distinct nonzero locators is nonsingular,
+// any corruption touching at most k symbols yields a nonzero syndrome
+// — detection of up to k symbol errors (minimum distance k+1) while
+// keeping the full order-independence of the k=2 code. Higher k buys
+// a longer guarantee for k 32-bit parities per block.
+
+// MaxK bounds the parity count (beyond ~8 the per-symbol cost
+// dominates any realistic use).
+const MaxK = 8
+
+// ErrK reports an unsupported parity count.
+var ErrK = errors.New("wsc: parity count out of range")
+
+// A MultiAccumulator incrementally builds the k parities of a block.
+type MultiAccumulator struct {
+	weights []uint32 // α^j for j = 0..k-1
+	par     []uint32
+}
+
+// NewMulti returns an accumulator with k parities (2 <= k <= MaxK).
+// NewMulti(2) is algebraically identical to Accumulator.
+func NewMulti(k int) (*MultiAccumulator, error) {
+	if k < 2 || k > MaxK {
+		return nil, ErrK
+	}
+	m := &MultiAccumulator{
+		weights: make([]uint32, k),
+		par:     make([]uint32, k),
+	}
+	for j := 0; j < k; j++ {
+		m.weights[j] = gf.Pow(gf.Alpha, uint64(j))
+	}
+	return m, nil
+}
+
+// K returns the parity count.
+func (m *MultiAccumulator) K() int { return len(m.par) }
+
+// Reset clears the accumulated parities.
+func (m *MultiAccumulator) Reset() {
+	for i := range m.par {
+		m.par[i] = 0
+	}
+}
+
+// Parities returns a copy of the current parity vector.
+func (m *MultiAccumulator) Parities() []uint32 {
+	return append([]uint32(nil), m.par...)
+}
+
+// Equal reports whether two parity vectors match.
+func ParitiesEqual(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AddRun accumulates a contiguous symbol run starting at position
+// start, in any order relative to other runs.
+func (m *MultiAccumulator) AddRun(start uint64, syms []uint32) error {
+	if len(syms) == 0 {
+		return nil
+	}
+	if start > MaxPosition || start+uint64(len(syms))-1 > MaxPosition {
+		return ErrPosition
+	}
+	for j, w := range m.weights {
+		// Horner with multiplier w = α^j, then scale by w^start.
+		var acc uint32
+		for i := len(syms) - 1; i >= 0; i-- {
+			acc = gf.Mul(acc, w) ^ syms[i]
+		}
+		m.par[j] ^= gf.Mul(gf.Pow(w, start), acc)
+	}
+	return nil
+}
+
+// AddSymbol accumulates one symbol.
+func (m *MultiAccumulator) AddSymbol(pos uint64, sym uint32) error {
+	return m.AddRun(pos, []uint32{sym})
+}
+
+// Combine folds another accumulator of the same k into this one.
+func (m *MultiAccumulator) Combine(other *MultiAccumulator) error {
+	if len(m.par) != len(other.par) {
+		return ErrK
+	}
+	for i := range m.par {
+		m.par[i] ^= other.par[i]
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package wsc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewMultiBounds(t *testing.T) {
+	if _, err := NewMulti(1); err != ErrK {
+		t.Fatal("k=1 must be rejected")
+	}
+	if _, err := NewMulti(MaxK + 1); err != ErrK {
+		t.Fatal("k too large must be rejected")
+	}
+	m, err := NewMulti(3)
+	if err != nil || m.K() != 3 {
+		t.Fatalf("NewMulti(3): %v", err)
+	}
+}
+
+// TestMultiK2MatchesAccumulator: WSC-2 is the k=2 member of the
+// family; both implementations must agree symbol for symbol.
+func TestMultiK2MatchesAccumulator(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	syms := make([]uint32, 200)
+	for i := range syms {
+		syms[i] = rng.Uint32()
+	}
+	var a Accumulator
+	m, _ := NewMulti(2)
+	if err := a.AddRun(100, syms); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddRun(100, syms); err != nil {
+		t.Fatal(err)
+	}
+	p := m.Parities()
+	if p[0] != a.Parity().P0 || p[1] != a.Parity().P1 {
+		t.Fatalf("k=2 multi {%#x %#x} != Accumulator %+v", p[0], p[1], a.Parity())
+	}
+}
+
+func TestMultiOrderIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	syms := make([]uint32, 120)
+	for i := range syms {
+		syms[i] = rng.Uint32()
+	}
+	whole, _ := NewMulti(4)
+	if err := whole.AddRun(0, syms); err != nil {
+		t.Fatal(err)
+	}
+	pieces, _ := NewMulti(4)
+	order := rng.Perm(12)
+	for _, p := range order {
+		lo := p * 10
+		if err := pieces.AddRun(uint64(lo), syms[lo:lo+10]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !ParitiesEqual(whole.Parities(), pieces.Parities()) {
+		t.Fatal("disordered accumulation must match")
+	}
+}
+
+// TestMultiDetectsKErrors: a k-parity code must detect EVERY
+// corruption touching at most k symbols. Randomized over positions
+// and values for k = 2, 3, 4.
+func TestMultiDetectsKErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	syms := make([]uint32, 300)
+	for i := range syms {
+		syms[i] = rng.Uint32()
+	}
+	for k := 2; k <= 4; k++ {
+		ref, _ := NewMulti(k)
+		if err := ref.AddRun(0, syms); err != nil {
+			t.Fatal(err)
+		}
+		want := ref.Parities()
+		for trial := 0; trial < 300; trial++ {
+			nErr := 1 + rng.Intn(k)
+			positions := rng.Perm(len(syms))[:nErr]
+			for _, p := range positions {
+				syms[p] ^= 1 + rng.Uint32()
+				if syms[p] == 0 {
+					syms[p] = 1
+				}
+			}
+			got, _ := NewMulti(k)
+			_ = got.AddRun(0, syms)
+			if ParitiesEqual(got.Parities(), want) {
+				t.Fatalf("k=%d: %d-symbol corruption undetected", k, nErr)
+			}
+			// Restore via a fresh copy.
+			for i := range syms {
+				syms[i] = 0
+			}
+			r2 := rand.New(rand.NewSource(3))
+			_ = r2 // regenerate deterministically below
+			rngRestore := rand.New(rand.NewSource(3))
+			for i := range syms {
+				syms[i] = rngRestore.Uint32()
+			}
+		}
+	}
+}
+
+func TestMultiCombineReset(t *testing.T) {
+	a, _ := NewMulti(3)
+	b, _ := NewMulti(3)
+	_ = a.AddRun(0, []uint32{1, 2, 3})
+	_ = b.AddRun(3, []uint32{4, 5})
+	whole, _ := NewMulti(3)
+	_ = whole.AddRun(0, []uint32{1, 2, 3, 4, 5})
+	if err := a.Combine(b); err != nil {
+		t.Fatal(err)
+	}
+	if !ParitiesEqual(a.Parities(), whole.Parities()) {
+		t.Fatal("Combine must union blocks")
+	}
+	a.Reset()
+	for _, p := range a.Parities() {
+		if p != 0 {
+			t.Fatal("Reset must zero parities")
+		}
+	}
+	c, _ := NewMulti(4)
+	if err := a.Combine(c); err != ErrK {
+		t.Fatal("mismatched k must be rejected")
+	}
+}
+
+func TestMultiBounds(t *testing.T) {
+	m, _ := NewMulti(2)
+	if err := m.AddRun(MaxPosition, []uint32{1, 2}); err != ErrPosition {
+		t.Fatalf("overflow: %v", err)
+	}
+	if err := m.AddRun(0, nil); err != nil {
+		t.Fatal("empty run is a no-op")
+	}
+	if err := m.AddSymbol(5, 42); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMultiK4_64K(b *testing.B) {
+	syms := make([]uint32, 16384)
+	for i := range syms {
+		syms[i] = uint32(i) * 2654435761
+	}
+	b.SetBytes(int64(len(syms) * 4))
+	for i := 0; i < b.N; i++ {
+		m, _ := NewMulti(4)
+		_ = m.AddRun(0, syms)
+	}
+}

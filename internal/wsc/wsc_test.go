@@ -1,0 +1,320 @@
+package wsc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"chunks/internal/gf"
+)
+
+func TestEmptyParity(t *testing.T) {
+	var a Accumulator
+	if !a.Parity().Zero() {
+		t.Fatal("zero-value accumulator must encode the empty block")
+	}
+	p, err := Encode(nil)
+	if err != nil || !p.Zero() {
+		t.Fatalf("Encode(nil) = %+v, %v", p, err)
+	}
+}
+
+func TestAddSymbolMatchesDefinition(t *testing.T) {
+	var a Accumulator
+	syms := []uint32{0xDEAD, 0xBEEF, 0, 7}
+	for i, s := range syms {
+		if err := a.AddSymbol(uint64(i), s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantP0 := gf.Sum(syms)
+	var wantP1 uint32
+	for i, s := range syms {
+		wantP1 ^= gf.Mul(gf.AlphaPow(uint64(i)), s)
+	}
+	if got := a.Parity(); got.P0 != wantP0 || got.P1 != wantP1 {
+		t.Fatalf("got %+v want {%#x %#x}", got, wantP0, wantP1)
+	}
+}
+
+func TestRunEqualsSymbols(t *testing.T) {
+	f := func(syms []uint32, start uint16) bool {
+		var byRun, bySym Accumulator
+		if err := byRun.AddRun(uint64(start), syms); err != nil {
+			return false
+		}
+		for i, s := range syms {
+			if err := bySym.AddSymbol(uint64(start)+uint64(i), s); err != nil {
+				return false
+			}
+		}
+		return byRun.Parity() == bySym.Parity()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOrderIndependence is the paper's central claim about WSC-2: the
+// parity of a block is the same no matter the order in which its
+// pieces are accumulated.
+func TestOrderIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	syms := make([]uint32, 257)
+	for i := range syms {
+		syms[i] = rng.Uint32()
+	}
+	want, err := Encode(syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Split into runs, shuffle, accumulate.
+	type run struct {
+		start uint64
+		data  []uint32
+	}
+	var runs []run
+	for i := 0; i < len(syms); {
+		n := 1 + rng.Intn(40)
+		if i+n > len(syms) {
+			n = len(syms) - i
+		}
+		runs = append(runs, run{uint64(i), syms[i : i+n]})
+		i += n
+	}
+	rng.Shuffle(len(runs), func(i, j int) { runs[i], runs[j] = runs[j], runs[i] })
+
+	var a Accumulator
+	for _, r := range runs {
+		if err := a.AddRun(r.start, r.data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Parity() != want {
+		t.Fatalf("disordered parity %+v != in-order parity %+v", a.Parity(), want)
+	}
+}
+
+// TestDuplicateCancels documents why virtual reassembly must reject
+// duplicates before accumulation: adding a symbol twice removes it.
+func TestDuplicateCancels(t *testing.T) {
+	var a Accumulator
+	_ = a.AddSymbol(3, 0xABCD)
+	_ = a.AddSymbol(3, 0xABCD)
+	if !a.Parity().Zero() {
+		t.Fatal("duplicate symbol must cancel in characteristic 2")
+	}
+}
+
+func TestPositionBounds(t *testing.T) {
+	var a Accumulator
+	if err := a.AddSymbol(MaxPosition, 1); err != nil {
+		t.Fatalf("MaxPosition must be valid: %v", err)
+	}
+	if err := a.AddSymbol(MaxPosition+1, 1); err != ErrPosition {
+		t.Fatalf("want ErrPosition, got %v", err)
+	}
+	if err := a.AddRun(MaxPosition, []uint32{1, 2}); err != ErrPosition {
+		t.Fatalf("run overflowing MaxPosition: want ErrPosition, got %v", err)
+	}
+}
+
+func TestAddBytes(t *testing.T) {
+	b := []byte{0, 0, 0, 1, 0, 0, 0, 2, 0xDE, 0xAD, 0xBE, 0xEF}
+	var byBytes, bySyms Accumulator
+	if err := byBytes.AddBytes(10, b); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range []uint32{1, 2, 0xDEADBEEF} {
+		_ = bySyms.AddSymbol(10+uint64(i), s)
+	}
+	if byBytes.Parity() != bySyms.Parity() {
+		t.Fatalf("AddBytes %+v != AddSymbol %+v", byBytes.Parity(), bySyms.Parity())
+	}
+	if err := byBytes.AddBytes(0, []byte{1, 2, 3}); err == nil {
+		t.Fatal("non-multiple-of-4 byte run must error")
+	}
+}
+
+func TestZeroPaddingIsNeutral(t *testing.T) {
+	// "the i values left unused are equivalent to encoding a symbol of
+	// zero": appending zero symbols must not change the parity.
+	p1, _ := Encode([]uint32{9, 8, 7})
+	p2, _ := Encode([]uint32{9, 8, 7, 0, 0, 0, 0})
+	if p1 != p2 {
+		t.Fatalf("zero padding changed parity: %+v vs %+v", p1, p2)
+	}
+}
+
+func TestCombine(t *testing.T) {
+	syms := []uint32{1, 2, 3, 4, 5, 6}
+	var whole, left, right Accumulator
+	_ = whole.AddRun(0, syms)
+	_ = left.AddRun(0, syms[:2])
+	_ = right.AddRun(2, syms[2:])
+	left.Combine(&right)
+	if left.Parity() != whole.Parity() {
+		t.Fatal("Combine must union disjoint blocks")
+	}
+}
+
+func TestParityWire(t *testing.T) {
+	p := Parity{P0: 0x01020304, P1: 0xAABBCCDD}
+	b := p.AppendBinary(nil)
+	if len(b) != ParitySize {
+		t.Fatalf("encoded size %d", len(b))
+	}
+	q, err := DecodeParity(b)
+	if err != nil || q != p {
+		t.Fatalf("round trip: %+v, %v", q, err)
+	}
+	if _, err := DecodeParity(b[:7]); err != ErrShortBuffer {
+		t.Fatalf("want ErrShortBuffer, got %v", err)
+	}
+}
+
+func TestDetectsSingleSymbolError(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	syms := make([]uint32, 100)
+	for i := range syms {
+		syms[i] = rng.Uint32()
+	}
+	want, _ := Encode(syms)
+	for trial := 0; trial < 200; trial++ {
+		i := rng.Intn(len(syms))
+		old := syms[i]
+		syms[i] ^= 1 + rng.Uint32()%0xFFFFFFFF
+		if syms[i] == old {
+			syms[i] = old ^ 1
+		}
+		got, _ := Encode(syms)
+		if got == want {
+			t.Fatalf("undetected single-symbol error at %d", i)
+		}
+		syms[i] = old
+	}
+}
+
+// TestDetectsSwappedSymbols: swapping two unequal symbols preserves P0
+// but not P1 — the weighted parity is what gives WSC-2 its edge over a
+// plain sum (and over the Internet checksum, which misses word swaps).
+func TestDetectsSwappedSymbols(t *testing.T) {
+	syms := []uint32{10, 20, 30, 40}
+	want, _ := Encode(syms)
+	syms[1], syms[2] = syms[2], syms[1]
+	got, _ := Encode(syms)
+	if got.P0 != want.P0 {
+		t.Fatal("swap must preserve P0")
+	}
+	if got.P1 == want.P1 {
+		t.Fatal("swap must be caught by P1")
+	}
+}
+
+func TestLocateSingleError(t *testing.T) {
+	syms := make([]uint32, 50)
+	for i := range syms {
+		syms[i] = uint32(i * 2654435761)
+	}
+	want, _ := Encode(syms)
+	const errPos, errVal = 37, 0x5A5A5A5A
+	syms[errPos] ^= errVal
+	got, _ := Encode(syms)
+	pos, val, ok := LocateSingleError(got.Xor(want))
+	if !ok || pos != errPos || val != errVal {
+		t.Fatalf("located (%d, %#x, %v), want (%d, %#x, true)", pos, val, ok, errPos, errVal)
+	}
+}
+
+func TestLocateSingleErrorEdges(t *testing.T) {
+	if _, _, ok := LocateSingleError(Parity{}); ok {
+		t.Fatal("zero syndrome must not locate")
+	}
+	if _, _, ok := LocateSingleError(Parity{P0: 0, P1: 5}); ok {
+		t.Fatal("P0=0,P1!=0 is inconsistent with a single error")
+	}
+}
+
+func TestCRCOrderDependent(t *testing.T) {
+	a, b := []byte("first-fragment!!"), []byte("second-fragment!")
+	ab := CRC32(append(append([]byte{}, a...), b...))
+	ba := CRC32(append(append([]byte{}, b...), a...))
+	if ab == ba {
+		t.Fatal("CRC32 of reordered fragments should differ (order dependence)")
+	}
+}
+
+func TestInternetChecksumOrderIndependent(t *testing.T) {
+	a, b := []byte("first-fragment!!"), []byte("second-fragment!")
+	ab := InternetChecksum(append(append([]byte{}, a...), b...))
+	combined := InternetChecksumCombine(InternetChecksum(a), InternetChecksum(b))
+	if ab != combined {
+		t.Fatalf("internet checksum must combine over even-aligned fragments: %#x vs %#x", ab, combined)
+	}
+}
+
+// TestInternetChecksumMissesSwap demonstrates the weakness footnote 11
+// cites: the Internet checksum cannot see 16-bit word transpositions.
+func TestInternetChecksumMissesSwap(t *testing.T) {
+	orig := []byte{0x12, 0x34, 0xAB, 0xCD}
+	swap := []byte{0xAB, 0xCD, 0x12, 0x34}
+	if InternetChecksum(orig) != InternetChecksum(swap) {
+		t.Fatal("expected the Internet checksum to miss the word swap")
+	}
+	p1, _ := EncodeBytes(orig)
+	p2, _ := EncodeBytes(swap)
+	if p1 == p2 {
+		t.Fatal("WSC-2 must catch the word swap")
+	}
+}
+
+func TestInternetChecksumOddLength(t *testing.T) {
+	// Odd-length buffers are padded with a zero byte per RFC 1071.
+	if InternetChecksum([]byte{0xFF}) != 0xFF00 {
+		t.Fatalf("odd-length checksum = %#x", InternetChecksum([]byte{0xFF}))
+	}
+}
+
+func TestDlogRoundTrip(t *testing.T) {
+	for _, e := range []uint64{0, 1, 2, 65535, 65536, 1 << 20, MaxPosition} {
+		x := gf.AlphaPow(e)
+		got, ok := dlogAlpha(x)
+		if !ok || got != e {
+			t.Fatalf("dlog(α^%d) = (%d, %v)", e, got, ok)
+		}
+	}
+	if _, ok := dlogAlpha(0); ok {
+		t.Fatal("dlog(0) must fail")
+	}
+}
+
+func BenchmarkAccumulate64K(b *testing.B) {
+	buf := make([]byte, 64*1024)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	var a Accumulator
+	for i := 0; i < b.N; i++ {
+		a.Reset()
+		_ = a.AddBytes(0, buf)
+	}
+}
+
+func BenchmarkCRC32_64K(b *testing.B) {
+	buf := make([]byte, 64*1024)
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		_ = CRC32(buf)
+	}
+}
+
+func BenchmarkInternetChecksum64K(b *testing.B) {
+	buf := make([]byte, 64*1024)
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		_ = InternetChecksum(buf)
+	}
+}

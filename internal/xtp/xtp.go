@@ -1,0 +1,231 @@
+// Package xtp models the XTP-style alternative to fragmentation that
+// Section 3.2 compares against: instead of fragmenting PDUs, "convert
+// large PDUs into smaller PDUs". Every packet then carries a COMPLETE
+// transport header, and — the paper's criticism — "anyone who
+// fragments XTP packets must understand the XTP protocol": the
+// resizing entity recomputes transport-layer fields (sequence numbers,
+// end-of-message flags, per-PDU checksums), so fragmentation is no
+// longer independent of the upper layers. The package also models the
+// SUPER packet: a container of multiple whole PDUs with its own,
+// DIFFERENT format — unlike chunks, whose format never changes.
+package xtp
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+)
+
+// Wire layout of a PDU (simplified XTP information packet):
+//
+//	offset size field
+//	0      4    KEY (connection key)
+//	4      8    SEQ (byte offset of Data in the stream)
+//	12     2    data length
+//	14     1    flags (bit0 EOM)
+//	15     1    reserved
+//	16     4    CHECK (CRC-32 of header fields + data; per-PDU check)
+//	20     -    data
+const (
+	// HeaderSize is the per-PDU header length.
+	HeaderSize = 20
+	flagEOM    = 1 << 0
+)
+
+// Errors reported by the codec and resizer.
+var (
+	ErrShortBuffer = errors.New("xtp: truncated PDU")
+	ErrBadCheck    = errors.New("xtp: checksum mismatch")
+	ErrTinyMTU     = errors.New("xtp: MTU cannot hold any data")
+)
+
+// A PDU is one self-contained transport protocol data unit.
+type PDU struct {
+	Key  uint32
+	Seq  uint64
+	EOM  bool
+	Data []byte
+}
+
+// check computes the per-PDU checksum over the identifying fields and
+// data. Recomputing it is the transport-layer knowledge a resizing
+// router is forced to have.
+func (p *PDU) check() uint32 {
+	var hdr [15]byte
+	binary.BigEndian.PutUint32(hdr[0:4], p.Key)
+	binary.BigEndian.PutUint64(hdr[4:12], p.Seq)
+	binary.BigEndian.PutUint16(hdr[12:14], uint16(len(p.Data)))
+	if p.EOM {
+		hdr[14] = flagEOM
+	}
+	c := crc32.ChecksumIEEE(hdr[:])
+	return crc32.Update(c, crc32.IEEETable, p.Data)
+}
+
+// AppendTo appends the wire encoding.
+func (p *PDU) AppendTo(b []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, p.Key)
+	b = binary.BigEndian.AppendUint64(b, p.Seq)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(p.Data)))
+	var fl byte
+	if p.EOM {
+		fl |= flagEOM
+	}
+	b = append(b, fl, 0)
+	b = binary.BigEndian.AppendUint32(b, p.check())
+	return append(b, p.Data...)
+}
+
+// Decode parses and verifies one PDU from the front of b.
+func Decode(b []byte) (PDU, int, error) {
+	if len(b) < HeaderSize {
+		return PDU{}, 0, ErrShortBuffer
+	}
+	n := int(binary.BigEndian.Uint16(b[12:14]))
+	if len(b) < HeaderSize+n {
+		return PDU{}, 0, ErrShortBuffer
+	}
+	p := PDU{
+		Key:  binary.BigEndian.Uint32(b[0:4]),
+		Seq:  binary.BigEndian.Uint64(b[4:12]),
+		EOM:  b[14]&flagEOM != 0,
+		Data: b[HeaderSize : HeaderSize+n : HeaderSize+n],
+	}
+	if binary.BigEndian.Uint32(b[16:20]) != p.check() {
+		return PDU{}, 0, ErrBadCheck
+	}
+	return p, HeaderSize + n, nil
+}
+
+// Resize converts a PDU into smaller PDUs that fit mtu — the XTP
+// answer to a small-MTU network. Each output is a complete PDU with a
+// recomputed checksum; only the final one keeps EOM. This is the
+// operation that requires full protocol understanding at the resizing
+// point.
+func Resize(p PDU, mtu int) ([]PDU, error) {
+	per := mtu - HeaderSize
+	if per < 1 {
+		return nil, ErrTinyMTU
+	}
+	if len(p.Data) <= per {
+		return []PDU{p}, nil
+	}
+	var out []PDU
+	for off := 0; off < len(p.Data); off += per {
+		end := off + per
+		last := false
+		if end >= len(p.Data) {
+			end = len(p.Data)
+			last = true
+		}
+		out = append(out, PDU{
+			Key:  p.Key,
+			Seq:  p.Seq + uint64(off),
+			EOM:  p.EOM && last,
+			Data: p.Data[off:end],
+		})
+	}
+	return out, nil
+}
+
+// Super packs whole PDUs into SUPER packets of at most mtu bytes. The
+// SUPER format (a one-byte count prefix, then back-to-back PDUs)
+// differs from the plain PDU format — the receiver needs both parsers,
+// the paper's contrast with chunks' single format.
+func Super(pdus []PDU, mtu int) ([][]byte, error) {
+	var out [][]byte
+	cur := []byte{0}
+	count := 0
+	flush := func() {
+		if count > 0 {
+			cur[0] = byte(count)
+			out = append(out, cur)
+			cur = []byte{0}
+			count = 0
+		}
+	}
+	for i := range pdus {
+		enc := pdus[i].AppendTo(nil)
+		if len(enc)+1 > mtu {
+			return nil, ErrTinyMTU
+		}
+		if len(cur)+len(enc) > mtu || count == 255 {
+			flush()
+		}
+		cur = append(cur, enc...)
+		count++
+	}
+	flush()
+	return out, nil
+}
+
+// DecodeSuper parses a SUPER packet.
+func DecodeSuper(b []byte) ([]PDU, error) {
+	if len(b) < 1 {
+		return nil, ErrShortBuffer
+	}
+	count := int(b[0])
+	off := 1
+	out := make([]PDU, 0, count)
+	for i := 0; i < count; i++ {
+		p, n, err := Decode(b[off:])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+		off += n
+	}
+	return out, nil
+}
+
+// A Collector rebuilds the byte stream of one connection from PDUs
+// arriving in any order (XTP sequence numbers are byte offsets, so
+// placement is possible; what XTP lacks is the multi-level framing and
+// fragmentation transparency of chunks).
+type Collector struct {
+	buf  []byte
+	have []span
+	end  int // stream length once EOM seen, else -1
+}
+
+type span struct{ lo, hi int }
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{end: -1} }
+
+// Add places one PDU's data. It returns the complete stream when the
+// EOM PDU and all preceding bytes have arrived.
+func (c *Collector) Add(p PDU) []byte {
+	lo, hi := int(p.Seq), int(p.Seq)+len(p.Data)
+	if hi > len(c.buf) {
+		grown := make([]byte, hi)
+		copy(grown, c.buf)
+		c.buf = grown
+	}
+	copy(c.buf[lo:hi], p.Data)
+	c.have = append(c.have, span{lo, hi})
+	if p.EOM {
+		c.end = hi
+	}
+	if c.end >= 0 && coveredTo(c.have, c.end) {
+		return c.buf[:c.end]
+	}
+	return nil
+}
+
+func coveredTo(spans []span, total int) bool {
+	cur := 0
+	for cur < total {
+		advanced := false
+		for _, s := range spans {
+			if s.lo <= cur && s.hi > cur {
+				cur = s.hi
+				advanced = true
+			}
+		}
+		if !advanced {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,202 @@
+package xtp
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func data(n int, seed int64) []byte {
+	b := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(b)
+	return b
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	p := PDU{Key: 5, Seq: 1000, EOM: true, Data: data(64, 1)}
+	b := p.AppendTo(nil)
+	got, n, err := Decode(b)
+	if err != nil || n != len(b) {
+		t.Fatalf("decode: %v n=%d", err, n)
+	}
+	if got.Key != 5 || got.Seq != 1000 || !got.EOM || !bytes.Equal(got.Data, p.Data) {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	p := PDU{Key: 1, Data: data(16, 2)}
+	b := p.AppendTo(nil)
+	if _, _, err := Decode(b[:HeaderSize-1]); err != ErrShortBuffer {
+		t.Fatal("short header")
+	}
+	if _, _, err := Decode(b[:len(b)-1]); err != ErrShortBuffer {
+		t.Fatal("short data")
+	}
+	b[HeaderSize] ^= 0xFF // corrupt data
+	if _, _, err := Decode(b); err != ErrBadCheck {
+		t.Fatal("per-PDU checksum must catch corruption")
+	}
+}
+
+func TestResize(t *testing.T) {
+	p := PDU{Key: 9, Seq: 500, EOM: true, Data: data(1000, 3)}
+	small, err := Resize(p, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(small) != 10 { // ceil(1000/108)
+		t.Fatalf("resized into %d PDUs", len(small))
+	}
+	for i, s := range small {
+		if s.Key != 9 {
+			t.Fatal("key must be preserved")
+		}
+		if s.EOM != (i == len(small)-1) {
+			t.Fatalf("PDU %d EOM = %v", i, s.EOM)
+		}
+		// Every resized PDU must be independently valid — requiring a
+		// recomputed checksum (the protocol-knowledge cost).
+		enc := s.AppendTo(nil)
+		if _, _, err := Decode(enc); err != nil {
+			t.Fatalf("PDU %d invalid after resize: %v", i, err)
+		}
+	}
+	// Seq continuity.
+	next := p.Seq
+	for _, s := range small {
+		if s.Seq != next {
+			t.Fatalf("Seq gap: %d != %d", s.Seq, next)
+		}
+		next += uint64(len(s.Data))
+	}
+	if _, err := Resize(p, HeaderSize); err != ErrTinyMTU {
+		t.Fatal("tiny MTU")
+	}
+	one, err := Resize(PDU{Data: data(8, 4)}, 128)
+	if err != nil || len(one) != 1 {
+		t.Fatal("small PDU must pass through")
+	}
+}
+
+func TestResizeNonEOMKeepsNoEOM(t *testing.T) {
+	p := PDU{Key: 1, Data: data(300, 5)} // EOM false
+	small, _ := Resize(p, 128)
+	for i, s := range small {
+		if s.EOM {
+			t.Fatalf("PDU %d must not gain EOM", i)
+		}
+	}
+}
+
+func TestCollectorDisordered(t *testing.T) {
+	stream := data(1000, 6)
+	p := PDU{Key: 1, Seq: 0, EOM: true, Data: stream}
+	small, _ := Resize(p, 128)
+	rng := rand.New(rand.NewSource(7))
+	rng.Shuffle(len(small), func(i, j int) { small[i], small[j] = small[j], small[i] })
+	c := NewCollector()
+	var got []byte
+	for _, s := range small {
+		if out := c.Add(s); out != nil {
+			got = out
+		}
+	}
+	if !bytes.Equal(got, stream) {
+		t.Fatal("collector failed on disordered PDUs")
+	}
+}
+
+func TestCollectorIncomplete(t *testing.T) {
+	p := PDU{Key: 1, Seq: 0, EOM: true, Data: data(300, 8)}
+	small, _ := Resize(p, 128)
+	c := NewCollector()
+	for _, s := range small[1:] { // first PDU missing
+		if out := c.Add(s); out != nil {
+			t.Fatal("incomplete stream must not complete")
+		}
+	}
+}
+
+func TestSuperRoundTrip(t *testing.T) {
+	var pdus []PDU
+	for i := 0; i < 10; i++ {
+		pdus = append(pdus, PDU{Key: 1, Seq: uint64(i * 50), Data: data(50, int64(i))})
+	}
+	packets, err := Super(pdus, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(packets) < 2 {
+		t.Fatal("expected multiple SUPER packets")
+	}
+	var got []PDU
+	for _, pk := range packets {
+		if len(pk) > 256 {
+			t.Fatal("SUPER packet oversize")
+		}
+		ps, err := DecodeSuper(pk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, ps...)
+	}
+	if len(got) != len(pdus) {
+		t.Fatalf("got %d PDUs", len(got))
+	}
+	for i := range got {
+		if got[i].Seq != pdus[i].Seq || !bytes.Equal(got[i].Data, pdus[i].Data) {
+			t.Fatalf("PDU %d differs", i)
+		}
+	}
+}
+
+func TestSuperErrors(t *testing.T) {
+	if _, err := Super([]PDU{{Data: data(500, 1)}}, 64); err != ErrTinyMTU {
+		t.Fatal("oversize PDU in SUPER")
+	}
+	if _, err := DecodeSuper(nil); err != ErrShortBuffer {
+		t.Fatal("empty SUPER")
+	}
+	if _, err := DecodeSuper([]byte{1, 0, 0}); err != ErrShortBuffer {
+		t.Fatal("truncated SUPER")
+	}
+}
+
+// TestPerPacketOverhead quantifies Section 3.2's efficiency point:
+// XTP-style resizing repeats the FULL transport header in every
+// packet, whereas chunk fragmentation repeats only framing labels and
+// IP fragmentation repeats only (ID, offset). The absolute numbers
+// feed experiment P7.
+func TestPerPacketOverhead(t *testing.T) {
+	p := PDU{Key: 1, Seq: 0, EOM: true, Data: data(4096, 9)}
+	small, _ := Resize(p, 128)
+	overhead := len(small) * HeaderSize
+	if overhead == 0 || len(small) < 30 {
+		t.Fatalf("unexpected resize shape: %d PDUs", len(small))
+	}
+}
+
+func BenchmarkResize64K(b *testing.B) {
+	p := PDU{Key: 1, Seq: 0, EOM: true, Data: data(64*1024, 1)}
+	b.SetBytes(int64(len(p.Data)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Resize(p, 1400); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkResizeEncode64K(b *testing.B) {
+	// The real cost: every resized PDU needs its checksum recomputed.
+	p := PDU{Key: 1, Seq: 0, EOM: true, Data: data(64*1024, 1)}
+	small, _ := Resize(p, 1400)
+	b.SetBytes(int64(len(p.Data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf []byte
+		for j := range small {
+			buf = small[j].AppendTo(buf[:0])
+		}
+	}
+}
