@@ -1,0 +1,77 @@
+// Command chaoscorpus regenerates the chaos-corrupted fuzz corpus
+// seeds under internal/packet/testdata/fuzz/FuzzDecode. Each seed is a
+// valid sender-emitted datagram mutated by chaos.Corrupt with a fixed
+// seed, so the corpus pins packet.Decode robustness against exactly the
+// damage the chaos relay inflicts on the wire. Deterministic: rerunning
+// produces byte-identical files.
+//
+// Usage: go run ./cmd/chaoscorpus [-out dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"chunks/internal/chaos"
+	"chunks/internal/transport"
+)
+
+const corpusSeed = 20260806
+
+func main() {
+	out := flag.String("out", "internal/packet/testdata/fuzz/FuzzDecode", "corpus directory")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(corpusSeed))
+
+	// Collect a spread of real datagrams: small and large TPDUs, data
+	// and error-detection chunks, open and close signals.
+	var datagrams [][]byte
+	s := transport.NewSender(transport.SenderConfig{
+		CID: 77, TPDUElems: 64, InitialRTO: time.Millisecond,
+	}, func(d []byte) {
+		datagrams = append(datagrams, append([]byte(nil), d...))
+	})
+	payload := make([]byte, 3*1024)
+	rng.Read(payload)
+	if err := s.Write(payload); err != nil {
+		log.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	n := 0
+	for i, d := range datagrams {
+		// Three corruption intensities per source datagram: a light
+		// flip, the relay default (max 3 bytes), and a heavy mangle.
+		for _, max := range []int{1, 3, 16} {
+			b := append([]byte(nil), d...)
+			chaos.Corrupt(rng, b, max)
+			name := fmt.Sprintf("chaos-corrupt-%02d-max%02d", i, max)
+			if err := writeSeed(filepath.Join(*out, name), b); err != nil {
+				log.Fatal(err)
+			}
+			n++
+		}
+	}
+	fmt.Printf("wrote %d corpus seeds to %s\n", n, *out)
+}
+
+// writeSeed writes one corpus entry in the Go fuzzing v1 encoding.
+func writeSeed(path string, b []byte) error {
+	body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(b)) + ")\n"
+	return os.WriteFile(path, []byte(body), 0o644)
+}

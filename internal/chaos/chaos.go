@@ -1,0 +1,399 @@
+// Package chaos is a deterministic in-process UDP relay for hostile-
+// network testing: it sits between core.Dial and core.Serve on real
+// sockets and applies scripted fault schedules — loss bursts,
+// reordering windows, duplication, byte corruption, blackhole
+// intervals and peer-address spoofing — to live datagrams. It mirrors
+// internal/netsim's fault model (the Section 1 disordering sources)
+// but exercises the real socket path, so the paper's "consequences"
+// can be claimed outside the simulator.
+//
+// Fault decisions are drawn from a seeded RNG per direction, in
+// datagram arrival order: the schedule a given arrival sequence
+// experiences is a pure function of the seed. Per-fault counters
+// record what was actually inflicted, for assertions.
+//
+//	relay, _ := chaos.NewRelay(srv.Addr().String(), chaos.Config{
+//		Seed: 1, Up: chaos.Schedule{LossProb: 0.3, ReorderWindow: 16},
+//	})
+//	conn, _ := core.Dial(relay.Addr().String(), cfg)
+package chaos
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// A Schedule scripts the faults of one relay direction (uplink =
+// client→server, downlink = server→client).
+type Schedule struct {
+	// LossProb is the per-datagram drop probability.
+	LossProb float64
+	// LossBurst makes each loss event drop this many consecutive
+	// datagrams; 0 or 1 means single drops.
+	LossBurst int
+	// ReorderWindow, when > 1, holds datagrams back and releases them
+	// in seeded shuffled order once the window fills (the relay also
+	// flushes on a short timer so tails are never stranded).
+	ReorderWindow int
+	// DupProb is the per-datagram duplication probability.
+	DupProb float64
+	// CorruptProb is the per-datagram byte-corruption probability;
+	// a corrupted datagram has 1..CorruptMax random bytes flipped.
+	CorruptProb float64
+	// CorruptMax bounds flipped bytes per corrupted datagram; 0 means 3.
+	CorruptMax int
+	// BlackholeAfter/BlackholeFor drop every datagram in the interval
+	// [BlackholeAfter, BlackholeAfter+BlackholeFor) measured from
+	// relay start. BlackholeFor = 0 disables.
+	BlackholeAfter time.Duration
+	BlackholeFor   time.Duration
+	// SpoofProb (uplink only) re-sends a copy of the datagram to the
+	// server from a second socket — a different source address — so
+	// the server sees the same connection ID arriving from a spoofed
+	// peer. Tests that the control path cannot be hijacked.
+	SpoofProb float64
+}
+
+// Counters records the faults one direction actually inflicted.
+type Counters struct {
+	Forwarded  int // datagrams delivered (including duplicates)
+	Dropped    int // lost to LossProb/LossBurst
+	Blackholed int // lost to the blackhole interval
+	Reordered  int // datagrams released out of arrival order
+	Duplicated int // extra copies injected
+	Corrupted  int // datagrams with flipped bytes
+	Spoofed    int // copies re-sent from the spoofed source
+}
+
+// Config parameterises a Relay.
+type Config struct {
+	// Seed drives every fault decision (per-direction sub-seeds).
+	Seed int64
+	// Up and Down are the fault schedules for client→server and
+	// server→client datagrams.
+	Up, Down Schedule
+	// FlushEvery bounds how long a reorder window may hold datagrams;
+	// 0 means 2ms.
+	FlushEvery time.Duration
+}
+
+// Corrupt flips 1..max random bytes of b in place (max<=0 means 3),
+// drawing positions from rng. Exported so corpus generators can pin
+// exactly the corruptions the relay produces.
+func Corrupt(rng *rand.Rand, b []byte, max int) {
+	if len(b) == 0 {
+		return
+	}
+	if max <= 0 {
+		max = 3
+	}
+	n := 1 + rng.Intn(max)
+	for i := 0; i < n; i++ {
+		b[rng.Intn(len(b))] ^= byte(1 + rng.Intn(255))
+	}
+}
+
+// held is one datagram waiting in a reorder window, with its delivery
+// closure (destinations differ per client session).
+type held struct {
+	data []byte
+	send func([]byte)
+	seq  int
+}
+
+// pipe applies one Schedule to one direction.
+type pipe struct {
+	mu       sync.Mutex
+	sched    Schedule
+	rng      *rand.Rand
+	start    time.Time
+	burst    int // remaining datagrams of the current loss burst
+	window   []held
+	seq      int
+	counters Counters
+}
+
+func newPipe(sched Schedule, seed int64, start time.Time) *pipe {
+	return &pipe{sched: sched, rng: rand.New(rand.NewSource(seed)), start: start}
+}
+
+// offer pushes one datagram through the fault schedule. send delivers
+// on the normal path; spoofSend (nil outside the uplink) delivers from
+// the spoofed source.
+func (p *pipe) offer(data []byte, send, spoofSend func([]byte)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	if p.sched.BlackholeFor > 0 {
+		elapsed := time.Since(p.start)
+		if elapsed >= p.sched.BlackholeAfter && elapsed < p.sched.BlackholeAfter+p.sched.BlackholeFor {
+			p.counters.Blackholed++
+			return
+		}
+	}
+	if p.burst > 0 {
+		p.burst--
+		p.counters.Dropped++
+		return
+	}
+	if p.sched.LossProb > 0 && p.rng.Float64() < p.sched.LossProb {
+		p.counters.Dropped++
+		if p.sched.LossBurst > 1 {
+			p.burst = p.sched.LossBurst - 1
+		}
+		return
+	}
+
+	// The caller's buffer is reused; every surviving datagram is
+	// copied exactly once here.
+	d := append([]byte(nil), data...)
+	if p.sched.CorruptProb > 0 && p.rng.Float64() < p.sched.CorruptProb {
+		Corrupt(p.rng, d, p.sched.CorruptMax)
+		p.counters.Corrupted++
+	}
+	if spoofSend != nil && p.sched.SpoofProb > 0 && p.rng.Float64() < p.sched.SpoofProb {
+		p.counters.Spoofed++
+		spoofSend(d)
+	}
+	copies := 1
+	if p.sched.DupProb > 0 && p.rng.Float64() < p.sched.DupProb {
+		copies = 2
+		p.counters.Duplicated++
+	}
+	for i := 0; i < copies; i++ {
+		if p.sched.ReorderWindow > 1 {
+			p.window = append(p.window, held{data: d, send: send, seq: p.seq})
+			p.seq++
+			if len(p.window) >= p.sched.ReorderWindow {
+				p.flushLocked()
+			}
+		} else {
+			p.counters.Forwarded++
+			send(d)
+		}
+	}
+}
+
+// flushLocked releases the reorder window in seeded shuffled order. A
+// datagram released at a different position than it arrived counts as
+// reordered.
+func (p *pipe) flushLocked() {
+	if len(p.window) == 0 {
+		return
+	}
+	first := p.window[0].seq
+	for _, h := range p.window {
+		if h.seq < first {
+			first = h.seq
+		}
+	}
+	p.rng.Shuffle(len(p.window), func(i, j int) {
+		p.window[i], p.window[j] = p.window[j], p.window[i]
+	})
+	for i, h := range p.window {
+		if h.seq != first+i {
+			p.counters.Reordered++
+		}
+		p.counters.Forwarded++
+		h.send(h.data)
+	}
+	p.window = nil
+}
+
+func (p *pipe) flush() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.flushLocked()
+}
+
+func (p *pipe) snapshot() Counters {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.counters
+}
+
+// session is the relay state for one client source address.
+type session struct {
+	client *net.UDPAddr // where downlink datagrams go
+	back   *net.UDPConn // relay→server socket (the "real" source)
+	spoof  *net.UDPConn // second relay→server socket (spoofed source)
+}
+
+// A Relay is a faulty in-process UDP hop. Clients send to Addr();
+// datagrams are forwarded to the target through the Up schedule, and
+// replies return through the Down schedule.
+type Relay struct {
+	cfg    Config
+	front  *net.UDPConn
+	target *net.UDPAddr
+	up     *pipe
+	down   *pipe
+
+	mu       sync.Mutex
+	sessions map[string]*session
+
+	done     chan struct{}
+	shutOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewRelay starts a relay in front of the UDP target address.
+func NewRelay(target string, cfg Config) (*Relay, error) {
+	taddr, err := net.ResolveUDPAddr("udp", target)
+	if err != nil {
+		return nil, err
+	}
+	front, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.FlushEvery == 0 {
+		cfg.FlushEvery = 2 * time.Millisecond
+	}
+	start := time.Now()
+	r := &Relay{
+		cfg:      cfg,
+		front:    front,
+		target:   taddr,
+		up:       newPipe(cfg.Up, cfg.Seed*2+1, start),
+		down:     newPipe(cfg.Down, cfg.Seed*2+2, start),
+		sessions: make(map[string]*session),
+		done:     make(chan struct{}),
+	}
+	r.wg.Add(2)
+	go r.frontLoop()
+	go r.flushLoop()
+	return r, nil
+}
+
+// Addr returns the client-facing UDP address.
+func (r *Relay) Addr() net.Addr { return r.front.LocalAddr() }
+
+// UpCounters and DownCounters return fault counter snapshots.
+func (r *Relay) UpCounters() Counters   { return r.up.snapshot() }
+func (r *Relay) DownCounters() Counters { return r.down.snapshot() }
+
+// BackAddrs returns the local addresses of the relay's real (non-
+// spoof) server-facing sockets, one per client session — the source
+// addresses the server keys relayed connections by.
+func (r *Relay) BackAddrs() []net.Addr {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []net.Addr
+	for _, s := range r.sessions {
+		out = append(out, s.back.LocalAddr())
+	}
+	return out
+}
+
+// Close stops the relay and its sessions.
+func (r *Relay) Close() {
+	r.shutOnce.Do(func() { close(r.done) })
+	r.wg.Wait()
+	_ = r.front.Close()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range r.sessions {
+		_ = s.back.Close()
+		if s.spoof != nil {
+			_ = s.spoof.Close()
+		}
+	}
+}
+
+// session returns (establishing on first contact) the state for one
+// client address.
+func (r *Relay) session(from *net.UDPAddr) (*session, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.sessions[from.String()]; ok {
+		return s, nil
+	}
+	back, err := net.DialUDP("udp", nil, r.target)
+	if err != nil {
+		return nil, err
+	}
+	s := &session{
+		client: &net.UDPAddr{IP: append(net.IP(nil), from.IP...), Port: from.Port, Zone: from.Zone},
+		back:   back,
+	}
+	if r.cfg.Up.SpoofProb > 0 {
+		spoof, err := net.DialUDP("udp", nil, r.target)
+		if err != nil {
+			_ = back.Close()
+			return nil, err
+		}
+		s.spoof = spoof
+	}
+	r.sessions[from.String()] = s
+	r.wg.Add(1)
+	go r.backLoop(s)
+	return s, nil
+}
+
+// frontLoop forwards client datagrams to the server via Up.
+func (r *Relay) frontLoop() {
+	defer r.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		_ = r.front.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		n, from, err := r.front.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-r.done:
+				return
+			default:
+				continue
+			}
+		}
+		s, err := r.session(from)
+		if err != nil {
+			continue
+		}
+		var spoofSend func([]byte)
+		if s.spoof != nil {
+			spoofSend = func(d []byte) { _, _ = s.spoof.Write(d) }
+		}
+		r.up.offer(buf[:n], func(d []byte) { _, _ = s.back.Write(d) }, spoofSend)
+	}
+}
+
+// backLoop forwards server replies to the client via Down.
+func (r *Relay) backLoop(s *session) {
+	defer r.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		_ = s.back.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		n, err := s.back.Read(buf)
+		if err != nil {
+			select {
+			case <-r.done:
+				return
+			default:
+				continue
+			}
+		}
+		r.down.offer(buf[:n], func(d []byte) { _, _ = r.front.WriteToUDP(d, s.client) }, nil)
+	}
+}
+
+// flushLoop bounds reorder-window residency.
+func (r *Relay) flushLoop() {
+	defer r.wg.Done()
+	tick := time.NewTicker(r.cfg.FlushEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.done:
+			// Final flush so held datagrams are not lost silently.
+			r.up.flush()
+			r.down.flush()
+			return
+		case <-tick.C:
+			r.up.flush()
+			r.down.flush()
+		}
+	}
+}

@@ -1,0 +1,275 @@
+package chaos_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"chunks/internal/chaos"
+	"chunks/internal/core"
+)
+
+func testData(n int, seed int64) []byte {
+	b := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(b)
+	return b
+}
+
+// soakCase is one scripted fault schedule of the chaos soak.
+type soakCase struct {
+	name string
+	cfg  chaos.Config
+	// maxRetries for the sender; generous for recoverable schedules,
+	// tight when the schedule is expected to kill the peer.
+	maxRetries int
+	// wantDead: the schedule is unrecoverable; the transfer must fail
+	// fast with ErrPeerDead rather than deliver (or hang).
+	wantDead bool
+	// pace, when set, sleeps between 4 KiB writes so the transfer
+	// spans time-based fault windows.
+	pace time.Duration
+	// inflicted asserts the schedule actually did something.
+	inflicted func(up, down chaos.Counters) bool
+}
+
+// TestChaosSoak pushes a seeded bulk transfer through every scripted
+// fault schedule over real UDP sockets and asserts the acceptance
+// property: byte-exact delivery or a clean surfaced ErrPeerDead —
+// never a hang, never a panic. Runs under -race.
+func TestChaosSoak(t *testing.T) {
+	cases := []soakCase{
+		{
+			name:       "loss30",
+			cfg:        chaos.Config{Seed: 101, Up: chaos.Schedule{LossProb: 0.30}},
+			maxRetries: 64,
+			inflicted:  func(up, _ chaos.Counters) bool { return up.Dropped > 0 },
+		},
+		{
+			name:       "lossburst",
+			cfg:        chaos.Config{Seed: 102, Up: chaos.Schedule{LossProb: 0.10, LossBurst: 4}},
+			maxRetries: 64,
+			inflicted:  func(up, _ chaos.Counters) bool { return up.Dropped > 3 },
+		},
+		{
+			name:       "reorder16",
+			cfg:        chaos.Config{Seed: 103, Up: chaos.Schedule{ReorderWindow: 16}},
+			maxRetries: 64,
+			inflicted:  func(up, _ chaos.Counters) bool { return up.Reordered > 0 },
+		},
+		{
+			name:       "dup10",
+			cfg:        chaos.Config{Seed: 104, Up: chaos.Schedule{DupProb: 0.10}},
+			maxRetries: 64,
+			inflicted:  func(up, _ chaos.Counters) bool { return up.Duplicated > 0 },
+		},
+		{
+			name: "corrupt",
+			cfg: chaos.Config{Seed: 105,
+				Up:   chaos.Schedule{CorruptProb: 0.10},
+				Down: chaos.Schedule{CorruptProb: 0.05}},
+			maxRetries: 64,
+			inflicted:  func(up, down chaos.Counters) bool { return up.Corrupted > 0 && down.Corrupted > 0 },
+		},
+		{
+			name: "blackhole500ms",
+			cfg: chaos.Config{Seed: 106, Up: chaos.Schedule{
+				BlackholeAfter: 20 * time.Millisecond,
+				BlackholeFor:   500 * time.Millisecond}},
+			maxRetries: 64,
+			pace:       10 * time.Millisecond,
+			inflicted:  func(up, _ chaos.Counters) bool { return up.Blackholed > 0 },
+		},
+		{
+			name:       "spoof",
+			cfg:        chaos.Config{Seed: 107, Up: chaos.Schedule{SpoofProb: 0.30}},
+			maxRetries: 64,
+			inflicted:  func(up, _ chaos.Counters) bool { return up.Spoofed > 0 },
+		},
+		{
+			name: "everything",
+			cfg: chaos.Config{Seed: 108,
+				Up: chaos.Schedule{LossProb: 0.15, ReorderWindow: 8,
+					DupProb: 0.05, CorruptProb: 0.05, SpoofProb: 0.10},
+				Down: chaos.Schedule{LossProb: 0.10, CorruptProb: 0.05}},
+			maxRetries: 64,
+			inflicted: func(up, down chaos.Counters) bool {
+				return up.Dropped > 0 && up.Corrupted > 0 && down.Dropped > 0
+			},
+		},
+		{
+			name: "deadpeer",
+			cfg: chaos.Config{Seed: 109, Up: chaos.Schedule{
+				BlackholeFor: time.Hour}}, // black hole from the start
+			maxRetries: 5,
+			wantDead:   true,
+			inflicted:  func(up, _ chaos.Counters) bool { return up.Blackholed > 0 },
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			runSoak(t, tc)
+		})
+	}
+}
+
+func runSoak(t *testing.T, tc soakCase) {
+	data := testData(32*1024, tc.cfg.Seed)
+
+	srv, err := core.Serve("127.0.0.1:0", core.Config{
+		PollEvery: 3 * time.Millisecond,
+		ReapAfter: 400,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+
+	relay, err := chaos.NewRelay(srv.Addr().String(), tc.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relay.Close()
+
+	const cid = 77
+	conn, err := core.Dial(relay.Addr().String(), core.Config{
+		CID: cid, TPDUElems: 128, Window: 16,
+		PollEvery:  3 * time.Millisecond,
+		InitialRTO: 15 * time.Millisecond,
+		MinRTO:     8 * time.Millisecond,
+		MaxRTO:     300 * time.Millisecond,
+		MaxRetries: tc.maxRetries,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Shutdown()
+
+	writeErr := func() error {
+		for off := 0; off < len(data); off += 4096 {
+			if err := conn.Write(data[off : off+4096]); err != nil {
+				return err
+			}
+			if tc.pace > 0 {
+				time.Sleep(tc.pace)
+			}
+		}
+		return conn.Close()
+	}()
+	if writeErr != nil && !errors.Is(writeErr, core.ErrPeerDead) {
+		t.Fatalf("write failed with %v, want nil or ErrPeerDead", writeErr)
+	}
+
+	drainErr := conn.WaitDrained(8 * time.Second)
+	switch {
+	case tc.wantDead:
+		if !errors.Is(writeErr, core.ErrPeerDead) && !errors.Is(drainErr, core.ErrPeerDead) {
+			t.Fatalf("unrecoverable schedule ended with write=%v drain=%v, want ErrPeerDead", writeErr, drainErr)
+		}
+		// The recorded timeline shows per-TPDU exponential backoff.
+		log := conn.RetransmitTimeline()
+		if len(log) == 0 {
+			t.Fatal("no retransmissions recorded before giving up")
+		}
+		perTPDU := map[uint32][]time.Duration{}
+		for _, e := range log {
+			perTPDU[e.TID] = append(perTPDU[e.TID], e.RTO)
+		}
+		for tid, rtos := range perTPDU {
+			for i := 1; i < len(rtos); i++ {
+				if rtos[i] <= rtos[i-1] && rtos[i] < 300*time.Millisecond {
+					t.Fatalf("TPDU %d: RTO %v after %v, backoff not monotone", tid, rtos[i], rtos[i-1])
+				}
+			}
+		}
+	default:
+		if writeErr != nil || drainErr != nil {
+			t.Fatalf("recoverable schedule failed: write=%v drain=%v (up=%+v down=%+v)",
+				writeErr, drainErr, relay.UpCounters(), relay.DownCounters())
+		}
+		// Byte-exact delivery on the relayed connection (keyed by the
+		// relay's server-facing source address).
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			var got []byte
+			for _, back := range relay.BackAddrs() {
+				if s := srv.StreamOf(cid, back.String()); len(s) >= len(data) {
+					got = s
+					break
+				}
+			}
+			if got != nil {
+				if !bytes.Equal(got, data) {
+					t.Fatal("delivered stream differs from sent data")
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("stream never completed: %d conns, up=%+v",
+					srv.ConnCount(), relay.UpCounters())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if !tc.inflicted(relay.UpCounters(), relay.DownCounters()) {
+		t.Fatalf("schedule inflicted no faults: up=%+v down=%+v",
+			relay.UpCounters(), relay.DownCounters())
+	}
+}
+
+// TestSpoofedSourceIsolatedThroughRelay: with aggressive spoofing the
+// server ends up with more than one connection for the C.ID, and the
+// real one still delivers byte-exactly — the spoofed source never
+// captures the control path.
+func TestSpoofedSourceIsolatedThroughRelay(t *testing.T) {
+	data := testData(16*1024, 7)
+	srv, err := core.Serve("127.0.0.1:0", core.Config{PollEvery: 3 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+	relay, err := chaos.NewRelay(srv.Addr().String(), chaos.Config{
+		Seed: 5, Up: chaos.Schedule{SpoofProb: 0.9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relay.Close()
+
+	conn, err := core.Dial(relay.Addr().String(), core.Config{
+		CID: 21, TPDUElems: 128,
+		PollEvery:  3 * time.Millisecond,
+		InitialRTO: 15 * time.Millisecond,
+		MinRTO:     8 * time.Millisecond,
+		MaxRetries: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Shutdown()
+	if err := conn.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.WaitDrained(8 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := relay.UpCounters().Spoofed; got == 0 {
+		t.Fatal("no spoofed datagrams sent")
+	}
+	if got := srv.ConnCount(); got < 2 {
+		t.Fatalf("ConnCount = %d, want the spoofed source isolated as its own conn", got)
+	}
+	backs := relay.BackAddrs()
+	if len(backs) != 1 {
+		t.Fatalf("relay sessions = %d, want 1", len(backs))
+	}
+	if got := srv.StreamOf(21, backs[0].String()); !bytes.Equal(got, data) {
+		t.Fatal("real connection's stream corrupted by spoofing")
+	}
+}

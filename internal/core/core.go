@@ -16,6 +16,12 @@
 //	conn.Close()          // flush + close signal
 //	conn.WaitDrained(5 * time.Second)
 //	srv.Stream()          // the placed application bytes
+//
+// The error control is adaptive (Karn/Jacobson): retransmission
+// timeouts follow a smoothed RTT + variance estimate seeded from ACK
+// timing, back off exponentially per TPDU while the peer is silent,
+// and — when Config.MaxRetries is set — give up with ErrPeerDead
+// instead of spinning forever.
 package core
 
 import (
@@ -25,7 +31,9 @@ import (
 	"sync"
 	"time"
 
+	"chunks/internal/chunk"
 	"chunks/internal/errdet"
+	"chunks/internal/packet"
 	"chunks/internal/transport"
 )
 
@@ -51,6 +59,37 @@ type Config struct {
 	// PollEvery is the retransmission/NACK timer period; 0 means
 	// 20ms.
 	PollEvery time.Duration
+
+	// MaxRetries bounds successive timer-driven retransmissions of a
+	// single TPDU (and of the close signal): exceeded, the peer is
+	// declared dead and ErrPeerDead surfaces through Write and
+	// WaitDrained. 0 means unlimited (retry forever).
+	MaxRetries int
+	// InitialRTO is the retransmission timeout before the first RTT
+	// sample; 0 means 3*PollEvery (matching the legacy
+	// RetransmitAfter=3 poll rounds).
+	InitialRTO time.Duration
+	// MinRTO/MaxRTO clamp the adaptive timeout; 0 means PollEvery and
+	// 2s respectively.
+	MinRTO time.Duration
+	MaxRTO time.Duration
+	// OnPeerDead, when set on the Dial side, fires once when the
+	// sender gives up on the peer (MaxRetries exhausted).
+	OnPeerDead func(err error)
+
+	// IdleTimeout, when > 0, expires server-side connections that
+	// receive no datagrams for that long; expired connections are
+	// forgotten (their memory freed) and OnConnExpired fires.
+	IdleTimeout time.Duration
+	// OnConnExpired, when set on the Serve side, fires once per
+	// expired connection with its connection ID and peer address.
+	OnConnExpired func(cid uint32, peer net.Addr)
+	// ReapAfter, when > 0, drops receiver-side state of an incomplete
+	// TPDU that makes no progress for ReapAfter poll rounds, bounding
+	// the memory a lossy or dead peer can pin; 0 means 250 rounds
+	// (use a negative value to disable reaping entirely).
+	ReapAfter int
+
 	// OnFrame and OnTPDU are receive-side delivery callbacks.
 	OnFrame func(xid uint32, data []byte)
 	// OnTPDU fires once per TPDU with its end-to-end verdict.
@@ -64,6 +103,20 @@ func (c *Config) fill() {
 	if c.PollEvery == 0 {
 		c.PollEvery = 20 * time.Millisecond
 	}
+	if c.InitialRTO == 0 {
+		c.InitialRTO = 3 * c.PollEvery
+	}
+	if c.MinRTO == 0 {
+		c.MinRTO = c.PollEvery
+	}
+	if c.MaxRTO == 0 {
+		c.MaxRTO = 2 * time.Second
+	}
+	if c.ReapAfter == 0 {
+		c.ReapAfter = 250
+	} else if c.ReapAfter < 0 {
+		c.ReapAfter = 0
+	}
 }
 
 // ErrTimeout reports that WaitDrained/WaitClosed gave up.
@@ -72,14 +125,25 @@ var ErrTimeout = errors.New("core: wait timed out")
 // ErrShutdown reports use of a connection after Shutdown.
 var ErrShutdown = errors.New("core: connection shut down")
 
+// ErrPeerDead reports that the peer stopped acknowledging and
+// MaxRetries retransmissions were exhausted.
+var ErrPeerDead = transport.ErrPeerDead
+
 // A Conn is the sending end of a chunk connection over UDP.
 type Conn struct {
 	mu     sync.Mutex
+	cond   *sync.Cond // signalled on ACKs, shutdown, peer death
 	s      *transport.Sender
 	sock   *net.UDPConn
 	window int
+	epoch  time.Time // origin of the sender's timeline
+	shut   bool
+	dead   error // ErrPeerDead once the sender gives up
 	done   chan struct{}
 	wg     sync.WaitGroup
+
+	onPeerDead func(error)
+	deadOnce   sync.Once
 }
 
 // Dial opens a sending connection to a Server's UDP address.
@@ -97,10 +161,16 @@ func Dial(addr string, cfg Config) (*Conn, error) {
 	// loss is recovered by NACK/timeout retransmission.
 	_ = sock.SetWriteBuffer(4 << 20)
 	_ = sock.SetReadBuffer(4 << 20)
-	c := &Conn{sock: sock, window: cfg.Window, done: make(chan struct{})}
+	c := &Conn{
+		sock: sock, window: cfg.Window, done: make(chan struct{}),
+		epoch: time.Now(), onPeerDead: cfg.OnPeerDead,
+	}
+	c.cond = sync.NewCond(&c.mu)
 	c.s = transport.NewSender(transport.SenderConfig{
 		CID: cfg.CID, MTU: cfg.MTU, ElemSize: cfg.ElemSize,
 		TPDUElems: cfg.TPDUElems, Adapt: cfg.Adapt,
+		InitialRTO: cfg.InitialRTO, MinRTO: cfg.MinRTO,
+		MaxRTO: cfg.MaxRTO, MaxRetries: cfg.MaxRetries,
 	}, func(d []byte) {
 		// Best-effort datagram send; loss is the protocol's problem.
 		_, _ = sock.Write(d)
@@ -125,7 +195,8 @@ func Dial(addr string, cfg Config) (*Conn, error) {
 			c.handleControl(buf[:n])
 		}
 	}()
-	// Retransmission timer.
+	// Retransmission timer: adaptive RTO with exponential backoff,
+	// checked at PollEvery granularity.
 	go func() {
 		defer c.wg.Done()
 		tick := time.NewTicker(cfg.PollEvery)
@@ -136,12 +207,28 @@ func Dial(addr string, cfg Config) (*Conn, error) {
 				return
 			case <-tick.C:
 				c.mu.Lock()
-				_ = c.s.Poll()
+				err := c.s.PollAt(time.Since(c.epoch))
+				if errors.Is(err, transport.ErrPeerDead) && c.dead == nil {
+					c.dead = ErrPeerDead
+					c.cond.Broadcast()
+				}
+				deadErr := c.dead
 				c.mu.Unlock()
+				if deadErr != nil {
+					c.firePeerDead(deadErr)
+				}
 			}
 		}
 	}()
 	return c, nil
+}
+
+func (c *Conn) firePeerDead(err error) {
+	c.deadOnce.Do(func() {
+		if c.onPeerDead != nil {
+			c.onPeerDead(err)
+		}
+	})
 }
 
 func (c *Conn) handleControl(datagram []byte) {
@@ -149,31 +236,34 @@ func (c *Conn) handleControl(datagram []byte) {
 	if err != nil {
 		return
 	}
+	now := time.Since(c.epoch)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for i := range chs {
-		_ = c.s.HandleControl(&chs[i])
+		_ = c.s.HandleControlAt(&chs[i], now)
 	}
+	// ACKs may have shrunk the in-flight window: wake blocked writers.
+	c.cond.Broadcast()
 }
 
 // Write sends element-aligned application bytes, blocking while the
-// in-flight window (Config.Window) is full.
+// in-flight window (Config.Window) is full. A blocked Write returns
+// promptly with ErrShutdown or ErrPeerDead when the connection is shut
+// down or the peer is declared dead.
 func (c *Conn) Write(data []byte) error {
-	for c.window > 0 {
-		c.mu.Lock()
-		ok := c.s.Unacked() <= c.window
-		c.mu.Unlock()
-		if ok {
-			break
-		}
-		select {
-		case <-c.done:
-			return ErrShutdown
-		case <-time.After(time.Millisecond):
-		}
-	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	for c.window > 0 && c.s.Unacked() > c.window && !c.shut && c.dead == nil {
+		c.cond.Wait()
+	}
+	// Peer death is the root cause when both apply (WaitDrained shuts
+	// the connection down after declaring it dead).
+	if c.dead != nil {
+		return c.dead
+	}
+	if c.shut {
+		return ErrShutdown
+	}
 	return c.s.Write(data)
 }
 
@@ -199,6 +289,10 @@ func (c *Conn) Close() error {
 	return c.s.Close()
 }
 
+// LocalAddr returns the connection's local UDP address — the source
+// address the server keys this connection by.
+func (c *Conn) LocalAddr() net.Addr { return c.sock.LocalAddr() }
+
 // Unacked returns the number of TPDUs not yet verified end-to-end.
 func (c *Conn) Unacked() int {
 	c.mu.Lock()
@@ -206,10 +300,10 @@ func (c *Conn) Unacked() int {
 	return c.s.Unacked()
 }
 
-func (c *Conn) drained() bool {
+func (c *Conn) drained() (drained bool, shut bool, dead error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.s.Drained()
+	return c.s.Drained(), c.shut, c.dead
 }
 
 // Stats returns (TPDUs sent, retransmissions).
@@ -219,15 +313,42 @@ func (c *Conn) Stats() (sent, retransmits int) {
 	return c.s.TPDUsSent, c.s.Retransmits
 }
 
+// SRTT returns the sender's smoothed round-trip estimate (0 before
+// the first sample).
+func (c *Conn) SRTT() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.SRTT()
+}
+
+// RetransmitTimeline returns a copy of the timer-driven retransmission
+// log (TPDU, time offset, expired timeout), for backoff assertions and
+// diagnostics.
+func (c *Conn) RetransmitTimeline() []transport.RetransmitEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]transport.RetransmitEvent(nil), c.s.RetransmitLog...)
+}
+
 // WaitDrained blocks until every TPDU is acknowledged (and the close
 // signal, if sent, is acknowledged) or the timeout elapses, then shuts
-// the connection down.
+// the connection down. If the peer was declared dead (MaxRetries), it
+// returns ErrPeerDead immediately; on an already shut-down connection
+// that never drained it returns ErrShutdown without waiting.
 func (c *Conn) WaitDrained(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
-		if c.drained() {
+		ok, shut, dead := c.drained()
+		if dead != nil {
+			c.Shutdown()
+			return dead
+		}
+		if ok {
 			c.Shutdown()
 			return nil
+		}
+		if shut {
+			return ErrShutdown
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
@@ -241,8 +362,31 @@ func (c *Conn) Shutdown() {
 	case <-c.done:
 		return
 	default:
+	}
+	c.mu.Lock()
+	select {
+	case <-c.done:
+		c.mu.Unlock()
+		return
+	default:
 		close(c.done)
 	}
+	c.shut = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
 	c.wg.Wait()
 	_ = c.sock.Close()
+}
+
+// decodePacketChunks unpacks one datagram into cloned chunks.
+func decodePacketChunks(d []byte) ([]chunk.Chunk, error) {
+	p, err := packet.Decode(d)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]chunk.Chunk, len(p.Chunks))
+	for i := range p.Chunks {
+		out[i] = p.Chunks[i].Clone()
+	}
+	return out, nil
 }

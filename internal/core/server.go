@@ -6,23 +6,54 @@ import (
 	"sync"
 	"time"
 
-	"chunks/internal/chunk"
 	"chunks/internal/errdet"
 	"chunks/internal/packet"
 	"chunks/internal/transport"
 )
 
-// A Server is the receiving end of a chunk connection over UDP. It
-// places data immediately into its stream buffer, verifies each TPDU
-// end-to-end, ACKs/NACKs back to the sender's source address, and
-// delivers frames through the Config callbacks.
-type Server struct {
-	mu   sync.Mutex
+// connKey identifies one server-side connection: the connection ID
+// from the chunk labels AND the UDP source address it was established
+// from. Keying on both means a datagram from a different source — a
+// spoofed or stray sender reusing a live C.ID — lands in its own
+// isolated connection state and can never redirect the control
+// (ACK/NACK) path of the original peer.
+type connKey struct {
+	cid  uint32
+	addr string
+}
+
+// serverConn is the receive state of one peer connection.
+type serverConn struct {
 	r    *transport.Receiver
-	sock *net.UDPConn
-	peer *net.UDPAddr
-	done chan struct{}
-	wg   sync.WaitGroup
+	peer *net.UDPAddr // control destination, bound at establishment
+	cid  uint32
+
+	established int       // arrival order, for the primary accessors
+	lastActive  time.Time // last datagram seen (idle expiry)
+}
+
+// A Server is the receiving end of chunk connections over UDP. It
+// serves multiple peers concurrently, keyed by connection ID × source
+// address: each connection places data immediately into its own stream
+// buffer, verifies each TPDU end-to-end, ACKs/NACKs back to the
+// address the connection was established from, and delivers frames
+// through the Config callbacks.
+//
+// The single-connection accessors (Stream, VerifiedCount, Closed,
+// Findings, WaitClosed) operate on the primary connection: the
+// earliest-established one still alive. Multi-peer callers use
+// StreamOf and ConnCount.
+type Server struct {
+	mu    sync.Mutex
+	cfg   Config
+	sock  *net.UDPConn
+	conns map[connKey]*serverConn
+	seq   int
+	done     chan struct{}
+	shutOnce sync.Once
+	wg       sync.WaitGroup
+
+	expired int // connections reaped by idle expiry
 }
 
 // Serve starts a receiver on the given UDP address ("host:0" picks a
@@ -39,106 +70,238 @@ func Serve(addr string, cfg Config) (*Server, error) {
 	}
 	_ = sock.SetReadBuffer(8 << 20)
 	_ = sock.SetWriteBuffer(4 << 20)
-	srv := &Server{sock: sock, done: make(chan struct{})}
-	r, err := transport.NewReceiver(transport.ReceiverConfig{
-		MTU:     cfg.MTU,
-		OnFrame: cfg.OnFrame,
-		OnTPDU:  cfg.OnTPDU,
-		Repair:  cfg.Repair,
-	}, func(d []byte) {
-		srv.sendControl(d)
-	})
-	if err != nil {
+	srv := &Server{
+		cfg:   cfg,
+		sock:  sock,
+		conns: make(map[connKey]*serverConn),
+		done:  make(chan struct{}),
+	}
+	// Validate the receiver configuration once, up front, so Serve
+	// fails fast the way it used to instead of on the first datagram.
+	if _, err := transport.NewReceiver(srv.receiverConfig(), func([]byte) {}); err != nil {
 		_ = sock.Close()
 		return nil, err
 	}
-	srv.r = r
 
 	srv.wg.Add(2)
-	go func() {
-		defer srv.wg.Done()
-		buf := make([]byte, 65536)
-		for {
-			_ = sock.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
-			n, from, err := sock.ReadFromUDP(buf)
-			if err != nil {
-				select {
-				case <-srv.done:
-					return
-				default:
-					continue
-				}
-			}
-			srv.mu.Lock()
-			srv.peer = from
-			_ = srv.r.HandlePacket(buf[:n])
-			srv.mu.Unlock()
-		}
-	}()
-	go func() {
-		defer srv.wg.Done()
-		tick := time.NewTicker(cfg.PollEvery)
-		defer tick.Stop()
-		for {
-			select {
-			case <-srv.done:
-				return
-			case <-tick.C:
-				srv.mu.Lock()
-				srv.r.Poll()
-				srv.mu.Unlock()
-			}
-		}
-	}()
+	go srv.readLoop()
+	go srv.pollLoop()
 	return srv, nil
 }
 
-// sendControl is called with srv.mu held (from HandlePacket/Poll).
-func (s *Server) sendControl(d []byte) {
-	if s.peer == nil {
-		return
+func (s *Server) receiverConfig() transport.ReceiverConfig {
+	return transport.ReceiverConfig{
+		MTU:       s.cfg.MTU,
+		OnFrame:   s.cfg.OnFrame,
+		OnTPDU:    s.cfg.OnTPDU,
+		Repair:    s.cfg.Repair,
+		ReapAfter: s.cfg.ReapAfter,
 	}
-	_, _ = s.sock.WriteToUDP(d, s.peer)
+}
+
+// conn returns the connection for (cid, from), establishing it on
+// first contact. Called with s.mu held.
+func (s *Server) conn(cid uint32, from *net.UDPAddr) *serverConn {
+	key := connKey{cid: cid, addr: from.String()}
+	if c, ok := s.conns[key]; ok {
+		return c
+	}
+	peer := &net.UDPAddr{IP: append(net.IP(nil), from.IP...), Port: from.Port, Zone: from.Zone}
+	c := &serverConn{peer: peer, cid: cid, established: s.seq}
+	s.seq++
+	// The out callback captures the ESTABLISHMENT address: control
+	// always goes there, no matter who sent the datagram that
+	// triggered it.
+	r, err := transport.NewReceiver(s.receiverConfig(), func(d []byte) {
+		_, _ = s.sock.WriteToUDP(d, peer)
+	})
+	if err != nil {
+		// The config was validated in Serve; this cannot fail.
+		return nil
+	}
+	c.r = r
+	s.conns[key] = c
+	return c
+}
+
+func (s *Server) readLoop() {
+	defer s.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		_ = s.sock.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		n, from, err := s.sock.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				continue
+			}
+		}
+		p, err := packet.Decode(buf[:n])
+		if err != nil {
+			continue // not a chunk packet; ignore
+		}
+		now := time.Now()
+		s.mu.Lock()
+		// Route each chunk to the (C.ID, source) connection. Packets
+		// are usually single-connection, so cache the last lookup.
+		var cur *serverConn
+		var curCID uint32
+		for i := range p.Chunks {
+			cid := p.Chunks[i].C.ID
+			if cur == nil || cid != curCID {
+				cur, curCID = s.conn(cid, from), cid
+			}
+			if cur == nil {
+				continue
+			}
+			cur.lastActive = now
+			_ = cur.r.HandleChunk(&p.Chunks[i])
+		}
+		s.mu.Unlock()
+	}
+}
+
+func (s *Server) pollLoop() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.cfg.PollEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-tick.C:
+			type expiredConn struct {
+				cid  uint32
+				peer net.Addr
+			}
+			var expired []expiredConn
+			now := time.Now()
+			s.mu.Lock()
+			for key, c := range s.conns {
+				if s.cfg.IdleTimeout > 0 && now.Sub(c.lastActive) > s.cfg.IdleTimeout {
+					delete(s.conns, key)
+					s.expired++
+					expired = append(expired, expiredConn{cid: c.cid, peer: c.peer})
+					continue
+				}
+				c.r.Poll()
+			}
+			s.mu.Unlock()
+			if s.cfg.OnConnExpired != nil {
+				for _, e := range expired {
+					s.cfg.OnConnExpired(e.cid, e.peer)
+				}
+			}
+		}
+	}
+}
+
+// primary returns the earliest-established live connection, or nil.
+// Called with s.mu held.
+func (s *Server) primary() *serverConn {
+	var best *serverConn
+	for _, c := range s.conns {
+		if best == nil || c.established < best.established {
+			best = c
+		}
+	}
+	return best
 }
 
 // Addr returns the bound UDP address.
 func (s *Server) Addr() net.Addr { return s.sock.LocalAddr() }
 
-// Stream returns a copy of the application bytes placed so far.
+// ConnCount returns the number of live connections.
+func (s *Server) ConnCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// Expired returns how many connections idle expiry has reaped.
+func (s *Server) Expired() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.expired
+}
+
+// Stream returns a copy of the application bytes placed so far on the
+// primary connection.
 func (s *Server) Stream() []byte {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return append([]byte(nil), s.r.Stream()...)
+	if c := s.primary(); c != nil {
+		return append([]byte(nil), c.r.Stream()...)
+	}
+	return nil
 }
 
-// VerifiedCount returns how many TPDUs verified OK.
+// StreamOf returns a copy of the stream of the connection established
+// by cid from addr (the exact source "ip:port"), or nil.
+func (s *Server) StreamOf(cid uint32, addr string) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.conns[connKey{cid: cid, addr: addr}]; ok {
+		return append([]byte(nil), c.r.Stream()...)
+	}
+	return nil
+}
+
+// VerifiedCount returns how many TPDUs verified OK on the primary
+// connection.
 func (s *Server) VerifiedCount() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.r.VerifiedCount()
+	if c := s.primary(); c != nil {
+		return c.r.VerifiedCount()
+	}
+	return 0
 }
 
-// Closed reports whether the close signal has arrived.
+// Closed reports whether the close signal has arrived on the primary
+// connection.
 func (s *Server) Closed() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.r.Closed()
+	if c := s.primary(); c != nil {
+		return c.r.Closed()
+	}
+	return false
 }
 
-// Findings returns the error detection findings so far.
+// Findings returns the error detection findings so far on the primary
+// connection.
 func (s *Server) Findings() []errdet.Finding {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.r.Findings()
+	if c := s.primary(); c != nil {
+		return c.r.Findings()
+	}
+	return nil
 }
 
-// WaitClosed blocks until the close signal arrives and the stream has
-// n bytes, or the timeout elapses.
+// Reaped returns how many stale incomplete TPDUs were dropped across
+// all connections.
+func (s *Server) Reaped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, c := range s.conns {
+		n += c.r.Reaped()
+	}
+	return n
+}
+
+// WaitClosed blocks until the close signal arrives and the primary
+// stream has n bytes, or the timeout elapses.
 func (s *Server) WaitClosed(n int, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
 		s.mu.Lock()
-		ok := s.r.Closed() && len(s.r.Stream()) >= n
+		c := s.primary()
+		ok := c != nil && c.r.Closed() && len(c.r.Stream()) >= n
 		s.mu.Unlock()
 		if ok {
 			return nil
@@ -148,27 +311,10 @@ func (s *Server) WaitClosed(n int, timeout time.Duration) error {
 	return fmt.Errorf("%w: stream %d of %d bytes", ErrTimeout, len(s.Stream()), n)
 }
 
-// Shutdown stops the server.
+// Shutdown stops the server. It is idempotent and safe to call
+// concurrently.
 func (s *Server) Shutdown() {
-	select {
-	case <-s.done:
-		return
-	default:
-		close(s.done)
-	}
+	s.shutOnce.Do(func() { close(s.done) })
 	s.wg.Wait()
 	_ = s.sock.Close()
-}
-
-// decodePacketChunks unpacks one datagram into cloned chunks.
-func decodePacketChunks(d []byte) ([]chunk.Chunk, error) {
-	p, err := packet.Decode(d)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]chunk.Chunk, len(p.Chunks))
-	for i := range p.Chunks {
-		out[i] = p.Chunks[i].Clone()
-	}
-	return out, nil
 }

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"chunks/internal/transport"
+)
+
+// TestConcurrentShutdownIdempotent: Shutdown on Conn and Server is
+// safe to call many times from many goroutines (run under -race).
+func TestConcurrentShutdownIdempotent(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := Dial(srv.Addr().String(), Config{CID: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(2)
+		go func() { defer wg.Done(); conn.Shutdown() }()
+		go func() { defer wg.Done(); srv.Shutdown() }()
+	}
+	wg.Wait()
+	// And again sequentially, after everything already stopped.
+	conn.Shutdown()
+	srv.Shutdown()
+}
+
+// TestCloseRacingWrite: Close and Shutdown racing concurrent Writes
+// must neither panic nor deadlock; every Write returns either nil (it
+// won the race) or a clean sentinel error.
+func TestCloseRacingWrite(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+	conn, err := Dial(srv.Addr().String(), Config{CID: 12, TPDUElems: 64, Window: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for j := 0; j < 8; j++ {
+				errs <- conn.Write(testData(256, seed*10+int64(j)))
+			}
+		}(int64(i))
+	}
+	time.Sleep(5 * time.Millisecond)
+	_ = conn.Close()
+	conn.Shutdown()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, ErrShutdown) && !errors.Is(err, transport.ErrClosed) {
+			t.Fatalf("racing Write returned unexpected error: %v", err)
+		}
+	}
+}
+
+// TestWaitDrainedTimeoutSurvivesRetry: WaitDrained returns ErrTimeout
+// (wrapped) against a silent peer with unlimited retries, and the conn
+// is fully shut down afterwards — a second WaitDrained is immediate.
+func TestWaitDrainedTimeoutSurvivesRetry(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr().String()
+	srv.Shutdown() // black hole
+
+	conn, err := Dial(addr, Config{CID: 13, PollEvery: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Write(testData(64, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.WaitDrained(100 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("WaitDrained = %v, want ErrTimeout", err)
+	}
+	start := time.Now()
+	if err := conn.WaitDrained(10 * time.Second); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("second WaitDrained = %v, want ErrShutdown", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("second WaitDrained blocked %v", elapsed)
+	}
+}

@@ -26,6 +26,14 @@ type ReceiverConfig struct {
 	// identifies exactly one corrupted data symbol, avoiding a
 	// retransmission round trip (extension; see errdet.Repair).
 	Repair bool
+	// ReapAfter, when > 0, bounds the memory a lossy or dead peer can
+	// pin in this receiver: an incomplete TPDU that makes no
+	// reassembly progress for ReapAfter consecutive Poll rounds has
+	// its verification state dropped entirely (the §3.3 buffer-lock-up
+	// discussion applied to our own receiver). Data arriving later
+	// rebuilds the TPDU from scratch via normal retransmission. 0
+	// disables reaping.
+	ReapAfter int
 }
 
 // A Receiver is the receive side of one chunk connection: it places
@@ -46,9 +54,11 @@ type Receiver struct {
 	stream []byte
 
 	repaired  int
+	reaped    int
 	tids      map[uint32]bool   // every TPDU seen (for polling)
 	progress  map[uint32]uint64 // reassembly fingerprint at last Poll
 	stalled   map[uint32]int    // consecutive no-progress polls
+	stale     map[uint32]int    // no-progress polls since last progress (for reaping)
 	acked     map[uint32]bool
 	notified  map[uint32]bool      // OnTPDU fired
 	delivered map[uint32]bool      // frames delivered
@@ -84,6 +94,7 @@ func NewReceiver(cfg ReceiverConfig, out func([]byte)) (*Receiver, error) {
 		tids:      make(map[uint32]bool),
 		progress:  make(map[uint32]uint64),
 		stalled:   make(map[uint32]int),
+		stale:     make(map[uint32]int),
 		acked:     make(map[uint32]bool),
 		notified:  make(map[uint32]bool),
 		delivered: make(map[uint32]bool),
@@ -99,14 +110,18 @@ func (r *Receiver) HandlePacket(data []byte) error {
 		return err
 	}
 	for i := range p.Chunks {
-		if err := r.handleChunk(&p.Chunks[i]); err != nil {
+		if err := r.HandleChunk(&p.Chunks[i]); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (r *Receiver) handleChunk(c *chunk.Chunk) error {
+// HandleChunk ingests one chunk. Callers that demultiplex a datagram
+// across several receivers (e.g. a multi-peer server keying connections
+// by C.ID and source address) decode the packet once and route each
+// chunk here; single-connection callers use HandlePacket.
+func (r *Receiver) HandleChunk(c *chunk.Chunk) error {
 	switch c.Type {
 	case chunk.TypeSignal:
 		sig, err := ParseSignal(c)
@@ -138,6 +153,7 @@ func (r *Receiver) handleChunk(c *chunk.Chunk) error {
 			r.place(c, iv.Lo, iv.Hi)
 		}
 		r.tids[c.T.ID] = true
+		delete(r.stale, c.T.ID) // arrival: the TPDU is not stale
 		r.after(c.T.ID)
 		r.deliverFrames(c.X.ID)
 		return nil
@@ -146,6 +162,7 @@ func (r *Receiver) handleChunk(c *chunk.Chunk) error {
 			return err
 		}
 		r.tids[c.T.ID] = true
+		delete(r.stale, c.T.ID)
 		r.after(c.T.ID)
 		return nil
 	case chunk.TypeAck, chunk.TypeNack:
@@ -258,6 +275,22 @@ func (r *Receiver) Poll() {
 		if haveEnd {
 			fp |= 1
 		}
+		// Reaping: an incomplete TPDU with no chunk arrivals for
+		// ReapAfter polls (r.stale is zeroed on every arrival) is
+		// given up on entirely — its verification state is dropped so
+		// a lossy or dead peer cannot pin receiver memory without
+		// bound. A retransmission arriving later rebuilds it from
+		// scratch.
+		r.stale[tid]++
+		if r.cfg.ReapAfter > 0 && r.stale[tid] >= r.cfg.ReapAfter {
+			r.ed.ResetTPDU(tid)
+			delete(r.tids, tid)
+			delete(r.progress, tid)
+			delete(r.stalled, tid)
+			delete(r.stale, tid)
+			r.reaped++
+			continue
+		}
 		if prev, ok := r.progress[tid]; !ok || prev != fp {
 			r.progress[tid] = fp
 			r.stalled[tid] = 0
@@ -324,3 +357,19 @@ func (r *Receiver) Findings() []errdet.Finding { return r.ed.Findings() }
 // Repaired returns the number of TPDUs fixed by single-symbol error
 // correction (only nonzero when ReceiverConfig.Repair is set).
 func (r *Receiver) Repaired() int { return r.repaired }
+
+// Reaped returns the number of stale incomplete TPDUs whose state was
+// dropped (only nonzero when ReceiverConfig.ReapAfter is set).
+func (r *Receiver) Reaped() int { return r.reaped }
+
+// PendingTPDUs returns the number of TPDUs currently holding receive
+// state without a final verdict — the quantity reaping bounds.
+func (r *Receiver) PendingTPDUs() int {
+	n := 0
+	for tid := range r.tids {
+		if !r.acked[tid] && r.ed.Verdict(tid) == errdet.VerdictPending {
+			n++
+		}
+	}
+	return n
+}

@@ -3,6 +3,7 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"chunks/internal/chunk"
 	"chunks/internal/errdet"
@@ -26,8 +27,33 @@ type SenderConfig struct {
 	// retransmission, grow it back on clean ACKs.
 	Adapt bool
 	// RetransmitAfter is the number of Poll rounds an unacked TPDU
-	// waits before being retransmitted wholesale; 0 means 3.
+	// waits before being retransmitted wholesale; 0 means 3. It
+	// governs only the legacy round-based Poll path; the adaptive
+	// time-based path (InitialRTO > 0, driven through PollAt) replaces
+	// it with the RTT estimator below.
 	RetransmitAfter int
+
+	// InitialRTO, when > 0, enables the adaptive retransmission path:
+	// the timeout for each TPDU is a Jacobson-style smoothed RTT +
+	// 4*variance estimate seeded from ACK timing (Karn's rule: samples
+	// are taken only from TPDUs that were never retransmitted), with
+	// per-TPDU exponential backoff on successive timer-driven
+	// retransmissions. InitialRTO is the timeout used before the first
+	// RTT sample arrives. Drive the adaptive path with PollAt and
+	// HandleControlAt, feeding a monotonic time offset.
+	InitialRTO time.Duration
+	// MinRTO and MaxRTO clamp the adaptive timeout; 0 means 5ms and
+	// 3s respectively. MaxRTO also caps the per-TPDU backoff.
+	MinRTO time.Duration
+	MaxRTO time.Duration
+	// MaxRetries bounds successive timer-driven retransmissions of a
+	// single TPDU (and of the close signal). When a TPDU is about to
+	// be retransmitted for the (MaxRetries+1)-th time the sender
+	// declares the peer dead: PollAt returns ErrPeerDead, Write
+	// refuses further data, and Dead reports true. 0 means unlimited
+	// (the pre-backoff behaviour: spin forever).
+	MaxRetries int
+
 	// Layout is the error detection invariant layout.
 	Layout errdet.Layout
 }
@@ -45,6 +71,14 @@ func (c *SenderConfig) fill() {
 	if c.RetransmitAfter == 0 {
 		c.RetransmitAfter = 3
 	}
+	if c.InitialRTO > 0 {
+		if c.MinRTO == 0 {
+			c.MinRTO = 5 * time.Millisecond
+		}
+		if c.MaxRTO == 0 {
+			c.MaxRTO = 3 * time.Second
+		}
+	}
 	if c.Layout.DataSymbols == 0 {
 		c.Layout = errdet.DefaultLayout()
 	}
@@ -58,13 +92,30 @@ var (
 	ErrNotElemAligned = errors.New("transport: write not element-aligned")
 	ErrClosed         = errors.New("transport: connection closed")
 	ErrUnknownTPDU    = errors.New("transport: NACK for unknown TPDU")
+	// ErrPeerDead reports that a TPDU (or the close signal) exhausted
+	// MaxRetries timer-driven retransmissions without an acknowledgment.
+	ErrPeerDead = errors.New("transport: peer dead (max retries exceeded)")
 )
 
 // tpduRec is the sender-side state of one in-flight TPDU.
 type tpduRec struct {
 	chunks   []chunk.Chunk // pre-fragmentation chunks (identifiers reused verbatim on retransmission)
 	ed       chunk.Chunk
-	lastSent int // Poll round of last (re)transmission
+	lastSent int // Poll round of last (re)transmission (legacy path)
+
+	// Adaptive-path state (InitialRTO > 0).
+	sentAt        time.Duration // timeline position of last (re)transmission
+	rto           time.Duration // current per-TPDU timeout (doubles on backoff)
+	retries       int           // timer-driven retransmissions so far
+	retransmitted bool          // Karn's rule: suppress RTT samples
+}
+
+// A RetransmitEvent records one timer-driven retransmission on the
+// adaptive path, for backoff assertions and diagnostics.
+type RetransmitEvent struct {
+	TID uint32        // retransmitted TPDU (CloseAckTID for the close signal)
+	At  time.Duration // timeline position of the retransmission
+	RTO time.Duration // the timeout interval that expired
 }
 
 // A Sender is the transmit side of one chunk connection. It is
@@ -91,6 +142,23 @@ type Sender struct {
 
 	initialTPDUElems int
 	cleanAcks        int // consecutive ACKs since the last retransmission
+
+	// Adaptive-path state (InitialRTO > 0). The timeline is a caller-
+	// supplied monotonic offset (time.Since of a connection epoch for
+	// real sockets, a synthetic clock in simulations) so that no
+	// wall-clock reads happen inside protocol logic.
+	now          time.Duration // latest observed timeline position
+	srtt         time.Duration // smoothed RTT
+	rttvar       time.Duration // RTT mean deviation
+	haveRTT      bool
+	dead         bool
+	closeSentAt  time.Duration
+	closeRTO     time.Duration
+	closeRetries int
+
+	// RetransmitLog records every timer-driven retransmission on the
+	// adaptive path, in order.
+	RetransmitLog []RetransmitEvent
 
 	// Counters for experiments.
 	TPDUsSent   int
@@ -127,6 +195,9 @@ func (s *Sender) Open() error {
 // Write appends element-aligned application bytes to the stream,
 // cutting and transmitting TPDUs as enough elements accumulate.
 func (s *Sender) Write(data []byte) error {
+	if s.dead {
+		return ErrPeerDead
+	}
 	if s.closed {
 		return ErrClosed
 	}
@@ -179,6 +250,8 @@ func (s *Sender) Close() error {
 		return err
 	}
 	s.closed = true
+	s.closeSentAt = s.now
+	s.closeRTO = s.currentRTO()
 	return s.emit([]chunk.Chunk{SignalClose(s.cfg.CID, s.csn)})
 }
 
@@ -237,7 +310,10 @@ func (s *Sender) cutTPDU(n int) error {
 	}
 	ed := errdet.EDChunk(s.cfg.CID, tid, start, par)
 
-	s.unacked[tid] = &tpduRec{chunks: chs, ed: ed, lastSent: s.round}
+	s.unacked[tid] = &tpduRec{
+		chunks: chs, ed: ed, lastSent: s.round,
+		sentAt: s.now, rto: s.currentRTO(),
+	}
 	s.buf = s.buf[n*es:]
 	s.bufStart = end
 	s.csn = end
@@ -260,6 +336,13 @@ func (s *Sender) emit(chs []chunk.Chunk) error {
 
 // HandleControl processes a control chunk (ACK/NACK) from the peer.
 func (s *Sender) HandleControl(c *chunk.Chunk) error {
+	return s.HandleControlAt(c, s.now)
+}
+
+// HandleControlAt is HandleControl with an explicit timeline position,
+// used by the adaptive path to derive RTT samples from ACK timing.
+func (s *Sender) HandleControlAt(c *chunk.Chunk, now time.Duration) error {
+	s.observe(now)
 	switch c.Type {
 	case chunk.TypeAck:
 		tid, err := ParseAck(c)
@@ -271,7 +354,10 @@ func (s *Sender) HandleControl(c *chunk.Chunk) error {
 			s.AcksSeen++
 			return nil
 		}
-		if _, ok := s.unacked[tid]; ok {
+		if rec, ok := s.unacked[tid]; ok {
+			if s.cfg.InitialRTO > 0 && !rec.retransmitted {
+				s.sample(s.now - rec.sentAt)
+			}
 			delete(s.unacked, tid)
 			s.AcksSeen++
 			s.grow()
@@ -309,6 +395,11 @@ func (s *Sender) retransmit(tid uint32, missing []vr.Interval) error {
 	}
 	out = append(out, rec.ed)
 	rec.lastSent = s.round
+	// A NACK proves the peer is alive and requesting: defer the
+	// retransmission timer but neither back off nor count a retry
+	// (those are reserved for silence). Karn's rule still applies.
+	rec.sentAt = s.now
+	rec.retransmitted = true
 	return s.emit(out)
 }
 
@@ -395,6 +486,119 @@ func (s *Sender) Poll() error {
 			if err := s.emit(append(append([]chunk.Chunk{}, rec.chunks...), rec.ed)); err != nil {
 				return err
 			}
+		}
+	}
+	return nil
+}
+
+// observe advances the sender's timeline; time never runs backwards.
+func (s *Sender) observe(now time.Duration) {
+	if now > s.now {
+		s.now = now
+	}
+}
+
+// sample feeds one RTT measurement into the Jacobson estimator:
+// RTTVAR = 3/4 RTTVAR + 1/4 |SRTT - R|, SRTT = 7/8 SRTT + 1/8 R.
+func (s *Sender) sample(rtt time.Duration) {
+	if rtt < 0 {
+		return
+	}
+	if !s.haveRTT {
+		s.srtt = rtt
+		s.rttvar = rtt / 2
+		s.haveRTT = true
+		return
+	}
+	diff := s.srtt - rtt
+	if diff < 0 {
+		diff = -diff
+	}
+	s.rttvar = (3*s.rttvar + diff) / 4
+	s.srtt = (7*s.srtt + rtt) / 8
+}
+
+// currentRTO returns the timeout a freshly sent TPDU gets: SRTT +
+// 4*RTTVAR clamped to [MinRTO, MaxRTO], or InitialRTO before the first
+// sample. Zero while the adaptive path is disabled.
+func (s *Sender) currentRTO() time.Duration {
+	if s.cfg.InitialRTO == 0 {
+		return 0
+	}
+	if !s.haveRTT {
+		return s.clampRTO(s.cfg.InitialRTO)
+	}
+	return s.clampRTO(s.srtt + 4*s.rttvar)
+}
+
+func (s *Sender) clampRTO(d time.Duration) time.Duration {
+	if d < s.cfg.MinRTO {
+		return s.cfg.MinRTO
+	}
+	if d > s.cfg.MaxRTO {
+		return s.cfg.MaxRTO
+	}
+	return d
+}
+
+// SRTT returns the smoothed RTT estimate (0 before the first sample).
+func (s *Sender) SRTT() time.Duration { return s.srtt }
+
+// RTO returns the timeout the next transmission would get.
+func (s *Sender) RTO() time.Duration { return s.currentRTO() }
+
+// Dead reports that the sender gave up on the peer (MaxRetries).
+func (s *Sender) Dead() bool { return s.dead }
+
+// PollAt runs the adaptive retransmission pass at timeline position
+// now: every unacked TPDU whose timeout expired is retransmitted whole
+// (identifiers unchanged), its timeout doubled (clamped to MaxRTO) and
+// its retry counted; a TPDU — or the close signal — about to exceed
+// MaxRetries kills the connection instead and PollAt returns
+// ErrPeerDead (and keeps returning it). Requires InitialRTO > 0.
+func (s *Sender) PollAt(now time.Duration) error {
+	if s.dead {
+		return ErrPeerDead
+	}
+	s.observe(now)
+	// Signaling chunks are not covered by ACKs: repeat the open signal
+	// until the first ACK proves the peer hears us, and the close
+	// signal on its own backoff schedule until acknowledged.
+	if s.opened && s.AcksSeen == 0 && len(s.unacked) > 0 {
+		if err := s.emit([]chunk.Chunk{SignalOpen(s.cfg.CID, s.cfg.ElemSize, 0)}); err != nil {
+			return err
+		}
+	}
+	if s.closed && !s.closeAcked && s.now >= s.closeSentAt+s.closeRTO {
+		if s.cfg.MaxRetries > 0 && s.closeRetries >= s.cfg.MaxRetries {
+			s.dead = true
+			return ErrPeerDead
+		}
+		s.closeRetries++
+		s.RetransmitLog = append(s.RetransmitLog, RetransmitEvent{TID: CloseAckTID, At: s.now, RTO: s.closeRTO})
+		s.closeSentAt = s.now
+		s.closeRTO = s.clampRTO(2 * s.closeRTO)
+		if err := s.emit([]chunk.Chunk{SignalClose(s.cfg.CID, s.csn)}); err != nil {
+			return err
+		}
+	}
+	for tid, rec := range s.unacked {
+		if s.now < rec.sentAt+rec.rto {
+			continue
+		}
+		if s.cfg.MaxRetries > 0 && rec.retries >= s.cfg.MaxRetries {
+			s.dead = true
+			return ErrPeerDead
+		}
+		rec.retries++
+		rec.retransmitted = true
+		s.RetransmitLog = append(s.RetransmitLog, RetransmitEvent{TID: tid, At: s.now, RTO: rec.rto})
+		rec.sentAt = s.now
+		rec.rto = s.clampRTO(2 * rec.rto)
+		s.Retransmits++
+		s.adapt()
+		if err := s.emit(append(append([]chunk.Chunk{}, rec.chunks...), rec.ed)); err != nil {
+			return err
 		}
 	}
 	return nil
