@@ -9,6 +9,8 @@ import (
 	"testing"
 
 	"chunks/internal/experiments"
+	"chunks/internal/telemetry"
+	"chunks/internal/transport"
 )
 
 func benchTable(b *testing.B, gen func() (*experiments.Table, error)) {
@@ -81,4 +83,55 @@ func BenchmarkP8AdaptiveSizing(b *testing.B) {
 
 func BenchmarkNetsimDisordering(b *testing.B) {
 	benchTable(b, func() (*experiments.Table, error) { return experiments.Disordering(1) })
+}
+
+// Telemetry overhead: the same clean 64 KiB transfer through the
+// deterministic pump with instrumentation disabled (zero Sink: every
+// instrument is a nil-receiver no-op) and enabled (live registry with
+// counters, histograms and the event ring). The two sub-benchmark
+// ns/op figures pin the acceptance bound: live must stay within a few
+// percent of nop.
+func BenchmarkTelemetryHotPath(b *testing.B) {
+	run := func(b *testing.B, sink func() (telemetry.Sink, telemetry.Sink)) {
+		data := make([]byte, 64*1024)
+		for i := range data {
+			data[i] = byte(i)
+		}
+		b.SetBytes(int64(len(data)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ssink, rsink := sink()
+			p, err := transport.NewPump(
+				transport.SenderConfig{CID: 1, MTU: 1400, ElemSize: 4, TPDUElems: 1024, Tel: ssink},
+				transport.ReceiverConfig{Tel: rsink},
+				transport.PumpConfig{Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := p.S.Write(data); err != nil {
+				b.Fatal(err)
+			}
+			if err := p.S.Close(); err != nil {
+				b.Fatal(err)
+			}
+			res, err := p.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Drained {
+				b.Fatal("pump did not drain")
+			}
+		}
+	}
+	b.Run("nop", func(b *testing.B) {
+		run(b, func() (telemetry.Sink, telemetry.Sink) {
+			return telemetry.Sink{}, telemetry.Sink{}
+		})
+	})
+	b.Run("live", func(b *testing.B) {
+		run(b, func() (telemetry.Sink, telemetry.Sink) {
+			reg := telemetry.New(0)
+			return reg.Sink("send"), reg.Sink("recv")
+		})
+	})
 }

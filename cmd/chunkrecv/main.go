@@ -16,6 +16,7 @@ import (
 
 	"chunks/internal/core"
 	"chunks/internal/errdet"
+	"chunks/internal/telemetry"
 )
 
 func main() {
@@ -23,11 +24,24 @@ func main() {
 	out := flag.String("out", "", "write the received stream to this file")
 	verbose := flag.Bool("v", false, "log each TPDU verdict and frame")
 	wait := flag.Duration("wait", 5*time.Minute, "give up after this long")
+	telAddr := flag.String("telemetry", "", "serve live telemetry on this HTTP address (e.g. 127.0.0.1:6071); also prints a snapshot at exit")
 	flag.Parse()
+
+	var reg *telemetry.Registry
+	if *telAddr != "" {
+		reg = telemetry.New(0)
+		tsrv, err := telemetry.Serve(*telAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer tsrv.Close()
+		fmt.Printf("telemetry on http://%v/telemetry\n", tsrv.Addr())
+	}
 
 	verified, failed := 0, 0
 	frames := 0
 	srv, err := core.Serve(*listen, core.Config{
+		Telemetry: reg,
 		OnTPDU: func(tid uint32, v errdet.Verdict) {
 			if v == errdet.VerdictOK {
 				verified++
@@ -65,6 +79,9 @@ func main() {
 	stream := srv.Stream()
 	fmt.Printf("received %d bytes; TPDUs verified %d, failed %d; frames %d\n",
 		len(stream), verified, failed, frames)
+	if reg != nil {
+		reg.Snapshot().WriteText(os.Stdout)
+	}
 	for _, f := range srv.Findings() {
 		log.Printf("finding: %v", f)
 	}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"chunks/internal/core"
+	"chunks/internal/telemetry"
 )
 
 func main() {
@@ -30,7 +31,19 @@ func main() {
 	adapt := flag.Bool("adapt", false, "adaptive TPDU sizing")
 	window := flag.Int("window", 24, "max unacked TPDUs in flight")
 	timeout := flag.Duration("timeout", 60*time.Second, "drain timeout")
+	telAddr := flag.String("telemetry", "", "serve live telemetry on this HTTP address (e.g. 127.0.0.1:6070); also prints a snapshot at exit")
 	flag.Parse()
+
+	var reg *telemetry.Registry
+	if *telAddr != "" {
+		reg = telemetry.New(0)
+		tsrv, err := telemetry.Serve(*telAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer tsrv.Close()
+		fmt.Printf("telemetry on http://%v/telemetry\n", tsrv.Addr())
+	}
 
 	var data []byte
 	if *file != "" {
@@ -49,6 +62,7 @@ func main() {
 
 	conn, err := core.Dial(*addr, core.Config{
 		CID: uint32(*cid), MTU: *mtu, TPDUElems: *tpdu, Adapt: *adapt,
+		Telemetry: reg,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -87,4 +101,7 @@ func main() {
 	fmt.Printf("sent %d bytes in %v (%.2f MiB/s); TPDUs %d, retransmits %d\n",
 		len(data), elapsed.Round(time.Millisecond),
 		float64(len(data))/(1<<20)/elapsed.Seconds(), sent, retr)
+	if reg != nil {
+		reg.Snapshot().WriteText(os.Stdout)
+	}
 }

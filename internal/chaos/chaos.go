@@ -23,6 +23,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"chunks/internal/telemetry"
 )
 
 // A Schedule scripts the faults of one relay direction (uplink =
@@ -77,6 +79,11 @@ type Config struct {
 	// FlushEvery bounds how long a reorder window may hold datagrams;
 	// 0 means 2ms.
 	FlushEvery time.Duration
+	// Telemetry, when set, mirrors each direction's fault counters
+	// into the scopes "chaos.up" and "chaos.down" as they change, so a
+	// live registry snapshot shows what the relay inflicted alongside
+	// the endpoints' own metrics.
+	Telemetry *telemetry.Registry
 }
 
 // Corrupt flips 1..max random bytes of b in place (max<=0 means 3),
@@ -103,6 +110,30 @@ type held struct {
 	seq  int
 }
 
+// pipeTel mirrors Counters into a telemetry scope; all fields are
+// nil-safe no-ops when the relay has no registry.
+type pipeTel struct {
+	forwarded  *telemetry.Counter
+	dropped    *telemetry.Counter
+	blackholed *telemetry.Counter
+	reordered  *telemetry.Counter
+	duplicated *telemetry.Counter
+	corrupted  *telemetry.Counter
+	spoofed    *telemetry.Counter
+}
+
+func newPipeTel(sink telemetry.Sink) pipeTel {
+	return pipeTel{
+		forwarded:  sink.Counter("forwarded"),
+		dropped:    sink.Counter("dropped"),
+		blackholed: sink.Counter("blackholed"),
+		reordered:  sink.Counter("reordered"),
+		duplicated: sink.Counter("duplicated"),
+		corrupted:  sink.Counter("corrupted"),
+		spoofed:    sink.Counter("spoofed"),
+	}
+}
+
 // pipe applies one Schedule to one direction.
 type pipe struct {
 	mu       sync.Mutex
@@ -113,10 +144,11 @@ type pipe struct {
 	window   []held
 	seq      int
 	counters Counters
+	tel      pipeTel
 }
 
-func newPipe(sched Schedule, seed int64, start time.Time) *pipe {
-	return &pipe{sched: sched, rng: rand.New(rand.NewSource(seed)), start: start}
+func newPipe(sched Schedule, seed int64, start time.Time, sink telemetry.Sink) *pipe {
+	return &pipe{sched: sched, rng: rand.New(rand.NewSource(seed)), start: start, tel: newPipeTel(sink)}
 }
 
 // offer pushes one datagram through the fault schedule. send delivers
@@ -130,16 +162,19 @@ func (p *pipe) offer(data []byte, send, spoofSend func([]byte)) {
 		elapsed := time.Since(p.start)
 		if elapsed >= p.sched.BlackholeAfter && elapsed < p.sched.BlackholeAfter+p.sched.BlackholeFor {
 			p.counters.Blackholed++
+			p.tel.blackholed.Inc()
 			return
 		}
 	}
 	if p.burst > 0 {
 		p.burst--
 		p.counters.Dropped++
+		p.tel.dropped.Inc()
 		return
 	}
 	if p.sched.LossProb > 0 && p.rng.Float64() < p.sched.LossProb {
 		p.counters.Dropped++
+		p.tel.dropped.Inc()
 		if p.sched.LossBurst > 1 {
 			p.burst = p.sched.LossBurst - 1
 		}
@@ -152,15 +187,18 @@ func (p *pipe) offer(data []byte, send, spoofSend func([]byte)) {
 	if p.sched.CorruptProb > 0 && p.rng.Float64() < p.sched.CorruptProb {
 		Corrupt(p.rng, d, p.sched.CorruptMax)
 		p.counters.Corrupted++
+		p.tel.corrupted.Inc()
 	}
 	if spoofSend != nil && p.sched.SpoofProb > 0 && p.rng.Float64() < p.sched.SpoofProb {
 		p.counters.Spoofed++
+		p.tel.spoofed.Inc()
 		spoofSend(d)
 	}
 	copies := 1
 	if p.sched.DupProb > 0 && p.rng.Float64() < p.sched.DupProb {
 		copies = 2
 		p.counters.Duplicated++
+		p.tel.duplicated.Inc()
 	}
 	for i := 0; i < copies; i++ {
 		if p.sched.ReorderWindow > 1 {
@@ -171,6 +209,7 @@ func (p *pipe) offer(data []byte, send, spoofSend func([]byte)) {
 			}
 		} else {
 			p.counters.Forwarded++
+			p.tel.forwarded.Inc()
 			send(d)
 		}
 	}
@@ -195,8 +234,10 @@ func (p *pipe) flushLocked() {
 	for i, h := range p.window {
 		if h.seq != first+i {
 			p.counters.Reordered++
+			p.tel.reordered.Inc()
 		}
 		p.counters.Forwarded++
+		p.tel.forwarded.Inc()
 		h.send(h.data)
 	}
 	p.window = nil
@@ -257,8 +298,8 @@ func NewRelay(target string, cfg Config) (*Relay, error) {
 		cfg:      cfg,
 		front:    front,
 		target:   taddr,
-		up:       newPipe(cfg.Up, cfg.Seed*2+1, start),
-		down:     newPipe(cfg.Down, cfg.Seed*2+2, start),
+		up:       newPipe(cfg.Up, cfg.Seed*2+1, start, cfg.Telemetry.Sink("chaos.up")),
+		down:     newPipe(cfg.Down, cfg.Seed*2+2, start, cfg.Telemetry.Sink("chaos.down")),
 		sessions: make(map[string]*session),
 		done:     make(chan struct{}),
 	}

@@ -4,11 +4,14 @@ import (
 	"bytes"
 	"errors"
 	"math/rand"
+	"sort"
+	"strings"
 	"testing"
 	"time"
 
 	"chunks/internal/chaos"
 	"chunks/internal/core"
+	"chunks/internal/telemetry"
 )
 
 func testData(n int, seed int64) []byte {
@@ -119,15 +122,22 @@ func TestChaosSoak(t *testing.T) {
 func runSoak(t *testing.T, tc soakCase) {
 	data := testData(32*1024, tc.cfg.Seed)
 
+	// One shared registry for all three components: the whole soak is
+	// observable from a single snapshot, and must stay coherent with
+	// the components' own counters.
+	reg := telemetry.New(0)
+
 	srv, err := core.Serve("127.0.0.1:0", core.Config{
 		PollEvery: 3 * time.Millisecond,
 		ReapAfter: 400,
+		Telemetry: reg,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Shutdown()
 
+	tc.cfg.Telemetry = reg
 	relay, err := chaos.NewRelay(srv.Addr().String(), tc.cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -142,6 +152,7 @@ func runSoak(t *testing.T, tc soakCase) {
 		MinRTO:     8 * time.Millisecond,
 		MaxRTO:     300 * time.Millisecond,
 		MaxRetries: tc.maxRetries,
+		Telemetry:  reg,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -218,6 +229,71 @@ func runSoak(t *testing.T, tc soakCase) {
 		t.Fatalf("schedule inflicted no faults: up=%+v down=%+v",
 			relay.UpCounters(), relay.DownCounters())
 	}
+	checkSoakTelemetry(t, tc, reg, conn, relay)
+}
+
+// checkSoakTelemetry asserts the shared registry's snapshot is
+// coherent with the components' own counters, then logs it — the
+// "whole soak in one snapshot" acceptance check.
+func checkSoakTelemetry(t *testing.T, tc soakCase, reg *telemetry.Registry, conn *core.Conn, relay *chaos.Relay) {
+	t.Helper()
+	snap := reg.Snapshot()
+
+	connScope, ok := snap.Scopes["conn.77"]
+	if !ok {
+		t.Fatalf("snapshot missing conn.77 scope; have %v", scopeNames(snap))
+	}
+	sent, retr := conn.Stats()
+	if got := connScope.Counters["tpdus_sent"]; got != int64(sent) {
+		t.Errorf("telemetry tpdus_sent = %d, sender stats say %d", got, sent)
+	}
+	if got := connScope.Counters["retransmits"]; got != int64(retr) {
+		t.Errorf("telemetry retransmits = %d, sender stats say %d", got, retr)
+	}
+
+	up := relay.UpCounters()
+	upScope, ok := snap.Scopes["chaos.up"]
+	if !ok {
+		t.Fatalf("snapshot missing chaos.up scope; have %v", scopeNames(snap))
+	}
+	if got := upScope.Counters["forwarded"]; got != int64(up.Forwarded) {
+		t.Errorf("telemetry chaos.up forwarded = %d, relay says %d", got, up.Forwarded)
+	}
+	if got := upScope.Counters["dropped"]; got != int64(up.Dropped) {
+		t.Errorf("telemetry chaos.up dropped = %d, relay says %d", got, up.Dropped)
+	}
+
+	if !tc.wantDead {
+		// Some receiver scope verified TPDUs, and the event ring saw
+		// the full lifecycle: sends on one side, completions on the
+		// other, all through one registry.
+		verified := int64(0)
+		for name, sc := range snap.Scopes {
+			if strings.HasPrefix(name, "recv.") {
+				verified += sc.Counters["tpdus_verified"]
+			}
+		}
+		if verified == 0 {
+			t.Errorf("no recv.* scope verified any TPDU; scopes %v", scopeNames(snap))
+		}
+		kinds := snap.EventCounts
+		if kinds[telemetry.EvSent.String()] == 0 || kinds[telemetry.EvComplete.String()] == 0 {
+			t.Errorf("event ring missing lifecycle ends: %v", kinds)
+		}
+	}
+
+	var buf bytes.Buffer
+	snap.WriteText(&buf)
+	t.Logf("telemetry snapshot (%s):\n%s", tc.name, buf.String())
+}
+
+func scopeNames(s telemetry.Snapshot) []string {
+	names := make([]string, 0, len(s.Scopes))
+	for n := range s.Scopes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // TestSpoofedSourceIsolatedThroughRelay: with aggressive spoofing the

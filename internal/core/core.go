@@ -34,6 +34,7 @@ import (
 	"chunks/internal/chunk"
 	"chunks/internal/errdet"
 	"chunks/internal/packet"
+	"chunks/internal/telemetry"
 	"chunks/internal/transport"
 )
 
@@ -94,6 +95,13 @@ type Config struct {
 	OnFrame func(xid uint32, data []byte)
 	// OnTPDU fires once per TPDU with its end-to-end verdict.
 	OnTPDU func(tid uint32, v errdet.Verdict)
+
+	// Telemetry, when set, receives the connection's runtime metrics
+	// and chunk-lifecycle events: a Dial side registers the scope
+	// "conn.<CID>", a Serve side registers "server" plus one
+	// "recv.<CID>@<addr>" scope per peer connection. nil disables
+	// instrumentation at no cost.
+	Telemetry *telemetry.Registry
 }
 
 func (c *Config) fill() {
@@ -144,6 +152,9 @@ type Conn struct {
 
 	onPeerDead func(error)
 	deadOnce   sync.Once
+
+	telStalls  *telemetry.Counter // Writes that blocked on the window
+	telUnacked *telemetry.Gauge   // TPDUs in flight (peak = max occupancy)
 }
 
 // Dial opens a sending connection to a Server's UDP address.
@@ -161,9 +172,12 @@ func Dial(addr string, cfg Config) (*Conn, error) {
 	// loss is recovered by NACK/timeout retransmission.
 	_ = sock.SetWriteBuffer(4 << 20)
 	_ = sock.SetReadBuffer(4 << 20)
+	sink := cfg.Telemetry.Sink(fmt.Sprintf("conn.%d", cfg.CID))
 	c := &Conn{
 		sock: sock, window: cfg.Window, done: make(chan struct{}),
 		epoch: time.Now(), onPeerDead: cfg.OnPeerDead,
+		telStalls:  sink.Counter("window_stalls"),
+		telUnacked: sink.Gauge("tpdus_unacked"),
 	}
 	c.cond = sync.NewCond(&c.mu)
 	c.s = transport.NewSender(transport.SenderConfig{
@@ -171,6 +185,7 @@ func Dial(addr string, cfg Config) (*Conn, error) {
 		TPDUElems: cfg.TPDUElems, Adapt: cfg.Adapt,
 		InitialRTO: cfg.InitialRTO, MinRTO: cfg.MinRTO,
 		MaxRTO: cfg.MaxRTO, MaxRetries: cfg.MaxRetries,
+		Tel: sink,
 	}, func(d []byte) {
 		// Best-effort datagram send; loss is the protocol's problem.
 		_, _ = sock.Write(d)
@@ -242,6 +257,7 @@ func (c *Conn) handleControl(datagram []byte) {
 	for i := range chs {
 		_ = c.s.HandleControlAt(&chs[i], now)
 	}
+	c.telUnacked.Set(int64(c.s.Unacked()))
 	// ACKs may have shrunk the in-flight window: wake blocked writers.
 	c.cond.Broadcast()
 }
@@ -253,7 +269,11 @@ func (c *Conn) handleControl(datagram []byte) {
 func (c *Conn) Write(data []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for c.window > 0 && c.s.Unacked() > c.window && !c.shut && c.dead == nil {
+	for stalled := false; c.window > 0 && c.s.Unacked() > c.window && !c.shut && c.dead == nil; {
+		if !stalled {
+			stalled = true
+			c.telStalls.Inc()
+		}
 		c.cond.Wait()
 	}
 	// Peer death is the root cause when both apply (WaitDrained shuts

@@ -8,6 +8,7 @@ import (
 
 	"chunks/internal/errdet"
 	"chunks/internal/packet"
+	"chunks/internal/telemetry"
 	"chunks/internal/transport"
 )
 
@@ -44,16 +45,22 @@ type serverConn struct {
 // earliest-established one still alive. Multi-peer callers use
 // StreamOf and ConnCount.
 type Server struct {
-	mu    sync.Mutex
-	cfg   Config
-	sock  *net.UDPConn
-	conns map[connKey]*serverConn
-	seq   int
+	mu       sync.Mutex
+	cfg      Config
+	sock     *net.UDPConn
+	conns    map[connKey]*serverConn
+	seq      int
 	done     chan struct{}
 	shutOnce sync.Once
 	wg       sync.WaitGroup
 
 	expired int // connections reaped by idle expiry
+
+	telEstablished *telemetry.Counter
+	telExpired     *telemetry.Counter
+	telDatagrams   *telemetry.Counter
+	telLive        *telemetry.Gauge
+	telRing        *telemetry.Ring
 }
 
 // Serve starts a receiver on the given UDP address ("host:0" picks a
@@ -70,11 +77,18 @@ func Serve(addr string, cfg Config) (*Server, error) {
 	}
 	_ = sock.SetReadBuffer(8 << 20)
 	_ = sock.SetWriteBuffer(4 << 20)
+	sink := cfg.Telemetry.Sink("server")
 	srv := &Server{
 		cfg:   cfg,
 		sock:  sock,
 		conns: make(map[connKey]*serverConn),
 		done:  make(chan struct{}),
+
+		telEstablished: sink.Counter("conns_established"),
+		telExpired:     sink.Counter("conns_expired"),
+		telDatagrams:   sink.Counter("datagrams_in"),
+		telLive:        sink.Gauge("conns_live"),
+		telRing:        sink.Ring,
 	}
 	// Validate the receiver configuration once, up front, so Serve
 	// fails fast the way it used to instead of on the first datagram.
@@ -112,7 +126,9 @@ func (s *Server) conn(cid uint32, from *net.UDPAddr) *serverConn {
 	// The out callback captures the ESTABLISHMENT address: control
 	// always goes there, no matter who sent the datagram that
 	// triggered it.
-	r, err := transport.NewReceiver(s.receiverConfig(), func(d []byte) {
+	cfg := s.receiverConfig()
+	cfg.Tel = s.cfg.Telemetry.Sink(fmt.Sprintf("recv.%d@%s", cid, key.addr))
+	r, err := transport.NewReceiver(cfg, func(d []byte) {
 		_, _ = s.sock.WriteToUDP(d, peer)
 	})
 	if err != nil {
@@ -121,6 +137,8 @@ func (s *Server) conn(cid uint32, from *net.UDPAddr) *serverConn {
 	}
 	c.r = r
 	s.conns[key] = c
+	s.telEstablished.Inc()
+	s.telLive.Set(int64(len(s.conns)))
 	return c
 }
 
@@ -143,6 +161,7 @@ func (s *Server) readLoop() {
 			continue // not a chunk packet; ignore
 		}
 		now := time.Now()
+		s.telDatagrams.Inc()
 		s.mu.Lock()
 		// Route each chunk to the (C.ID, source) connection. Packets
 		// are usually single-connection, so cache the last lookup.
@@ -183,6 +202,9 @@ func (s *Server) pollLoop() {
 				if s.cfg.IdleTimeout > 0 && now.Sub(c.lastActive) > s.cfg.IdleTimeout {
 					delete(s.conns, key)
 					s.expired++
+					s.telExpired.Inc()
+					s.telLive.Set(int64(len(s.conns)))
+					s.telRing.Record(telemetry.EvExpired, c.cid, 0, 0, 0)
 					expired = append(expired, expiredConn{cid: c.cid, peer: c.peer})
 					continue
 				}

@@ -306,6 +306,17 @@ func (r *Receiver) TPDUStatus(tid uint32) (haveEnd bool, high uint64) {
 	return haveEnd, t.t.High()
 }
 
+// Fragments returns the current interval count of TPDU tid's virtual
+// reassembly — the per-TPDU state footprint the §3.3 discussion
+// bounds. 0 for unknown TPDUs.
+func (r *Receiver) Fragments(tid uint32) int {
+	t := r.tpdus[tid]
+	if t == nil {
+		return 0
+	}
+	return t.t.Fragments()
+}
+
 // Missing returns the T.SN gaps of an unfinished TPDU (NACK input).
 func (r *Receiver) Missing(tid uint32) []vr.Interval {
 	t := r.tpdus[tid]

@@ -1,6 +1,9 @@
 package packet
 
-import "chunks/internal/chunk"
+import (
+	"chunks/internal/chunk"
+	"chunks/internal/telemetry"
+)
 
 // A Packer maps a chunk stream onto MTU-bounded packets — the
 // transmit-side half of "packets are envelopes". It combines as many
@@ -16,6 +19,13 @@ type Packer struct {
 	// (fixed-cell networks). Padding implies the terminator-chunk
 	// convention on the wire.
 	Pad bool
+
+	// Fill, when set, observes the fill ratio of each emitted envelope
+	// as a percentage of the chunk-byte budget.
+	Fill *telemetry.Histogram
+	// Events, when set, records an EvFragmented lifecycle event for
+	// every chunk that had to be split to fit the MTU.
+	Events *telemetry.Ring
 }
 
 // budget returns the chunk-byte capacity of one packet.
@@ -35,6 +45,7 @@ func (pk *Packer) Pack(chs []chunk.Chunk) ([]Packet, error) {
 
 	flush := func() {
 		if len(cur.Chunks) > 0 {
+			pk.Fill.Observe(int64(used * 100 / pk.budget()))
 			out = append(out, cur)
 			cur = Packet{}
 			used = 0
@@ -45,6 +56,10 @@ func (pk *Packer) Pack(chs []chunk.Chunk) ([]Packet, error) {
 		pieces, err := chs[i].SplitToFit(pk.budget())
 		if err != nil {
 			return nil, err
+		}
+		if len(pieces) > 1 {
+			c := &chs[i]
+			pk.Events.Record(telemetry.EvFragmented, c.C.ID, c.T.ID, c.T.SN, int64(len(pieces)))
 		}
 		for _, pc := range pieces {
 			n := pc.EncodedLen()

@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the bucket count of a log2 histogram: bucket 0 holds
+// v <= 0, bucket i (1..64) holds values whose bit length is i, i.e.
+// the range [2^(i-1), 2^i - 1]. Values above 2^63-1 cannot exist in an
+// int64, so bucket 64 is the natural max-value clamp.
+const histBuckets = 65
+
+// A Histogram is a lock-free log2-bucketed distribution (latencies in
+// microseconds, sizes in bytes or elements, retry counts). Observe is
+// two atomic adds plus one atomic increment; nil receivers are no-ops.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// bucketHigh returns the inclusive upper bound of bucket i — the value
+// reported for samples that landed there.
+func bucketHigh(i int) int64 {
+	switch {
+	case i <= 0:
+		return 0
+	case i >= 64:
+		return math.MaxInt64
+	default:
+		return int64(1)<<i - 1
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// Count returns the number of samples (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Snapshot freezes the distribution. Safe on nil (zero snapshot).
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n != 0 {
+			if s.Buckets == nil {
+				s.Buckets = map[int]int64{}
+			}
+			s.Buckets[i] = n
+		}
+	}
+	return s
+}
+
+// HistSnapshot is a frozen log2 distribution. Buckets maps bucket
+// index (see bucketOf) to sample count; empty buckets are omitted.
+type HistSnapshot struct {
+	Count   int64         `json:"count"`
+	Sum     int64         `json:"sum"`
+	Buckets map[int]int64 `json:"buckets,omitempty"`
+}
+
+// Mean returns the exact sample mean (0 with no samples).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Percentile returns the upper bound of the bucket containing the p-th
+// percentile sample (0 < p <= 100), by cumulative nearest-rank; 0 with
+// no samples. The log2 buckets make this an upper estimate within 2x.
+func (s HistSnapshot) Percentile(p float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(p/100*float64(s.Count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += s.Buckets[i]
+		if cum >= rank {
+			return bucketHigh(i)
+		}
+	}
+	return bucketHigh(histBuckets - 1)
+}
+
+// Max returns the upper bound of the highest occupied bucket (0 with
+// no samples).
+func (s HistSnapshot) Max() int64 {
+	for i := histBuckets - 1; i >= 0; i-- {
+		if s.Buckets[i] > 0 {
+			return bucketHigh(i)
+		}
+	}
+	return 0
+}
+
+// Diff subtracts prev from s, bucket by bucket.
+func (s HistSnapshot) Diff(prev HistSnapshot) HistSnapshot {
+	out := HistSnapshot{Count: s.Count - prev.Count, Sum: s.Sum - prev.Sum}
+	for i, n := range s.Buckets {
+		if d := n - prev.Buckets[i]; d != 0 {
+			if out.Buckets == nil {
+				out.Buckets = map[int]int64{}
+			}
+			out.Buckets[i] = d
+		}
+	}
+	return out
+}
+
+// String summarises the distribution.
+func (s HistSnapshot) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f p50<=%d p99<=%d max<=%d",
+		s.Count, s.Mean(), s.Percentile(50), s.Percentile(99), s.Max())
+}

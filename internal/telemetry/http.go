@@ -1,0 +1,76 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// The expvar package publishes into one process-global map, so the
+// registry it reflects is process-global too: the most recent Serve
+// call wins. Published once under the name "chunks".
+var (
+	expvarOnce sync.Once
+	expvarReg  atomic.Pointer[Registry]
+)
+
+// A Server is the live-introspection HTTP endpoint of one registry:
+//
+//	/telemetry         JSON snapshot of every scope + retained events
+//	/telemetry/text    the same snapshot rendered by WriteText
+//	/debug/vars        expvar (includes the snapshot under "chunks")
+//	/debug/pprof/...   net/http/pprof
+//
+// It is strictly read-only: handlers snapshot and render, nothing
+// flows back into the stack.
+type Server struct {
+	l net.Listener
+	s *http.Server
+}
+
+// Serve starts the introspection endpoint on addr ("host:0" picks a
+// free port).
+func Serve(addr string, reg *Registry) (*Server, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	expvarOnce.Do(func() {
+		expvar.Publish("chunks", expvar.Func(func() any {
+			return expvarReg.Load().Snapshot()
+		}))
+	})
+	expvarReg.Store(reg)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/telemetry", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(reg.Snapshot())
+	})
+	mux.HandleFunc("/telemetry/text", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		reg.Snapshot().WriteText(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	srv := &Server{l: l, s: &http.Server{Handler: mux}}
+	go func() { _ = srv.s.Serve(l) }()
+	return srv, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() net.Addr { return s.l.Addr() }
+
+// Close stops the endpoint.
+func (s *Server) Close() error { return s.s.Close() }

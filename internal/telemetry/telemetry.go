@@ -1,0 +1,410 @@
+// Package telemetry is the always-on observability substrate of the
+// live stack: lock-free counters, gauges and log2-bucketed histograms,
+// a fixed-size ring buffer of chunk-lifecycle events keyed by the
+// chunks' own (C.ID, T.SN) labels, and a registry of named scopes with
+// snapshot/diff APIs plus an optional stdlib-only HTTP endpoint.
+//
+// The paper's self-describing headers make per-chunk tracing nearly
+// free: every event a component records already carries the labels
+// that identify the data, so no lookup or correlation state is needed
+// on the hot path.
+//
+// Two invariants govern the package:
+//
+//  1. Zero cost when disabled. Components hold a Sink; the zero Sink
+//     resolves every instrument to nil, and every instrument method is
+//     a no-op on a nil receiver (a single predictable branch). The
+//     root BenchmarkTelemetryHotPath pins instrumented-vs-no-op within
+//     noise.
+//  2. Determinism-safe. Nothing in this package reads the wall clock
+//     or an unseeded RNG, and no telemetry read feeds back into
+//     protocol logic: instruments are write-only from the stack's
+//     perspective (TestTelemetryDoesNotAffectProtocol and the source
+//     audit in determinism_test.go enforce this).
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// A Counter is a monotonically increasing atomic count. All methods
+// are safe on a nil receiver (no-ops / zero), so disabled telemetry
+// costs one branch.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current count (0 on nil).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// A Gauge is an instantaneous atomic level (window occupancy, live
+// connections). Nil receivers are no-ops.
+type Gauge struct {
+	v    atomic.Int64
+	peak atomic.Int64
+}
+
+// Set stores the current level and raises the peak if exceeded.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+	g.raise(v)
+}
+
+// Add moves the level by d (negative to lower) and raises the peak.
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.raise(g.v.Add(d))
+}
+
+func (g *Gauge) raise(v int64) {
+	for {
+		p := g.peak.Load()
+		if v <= p || g.peak.CompareAndSwap(p, v) {
+			return
+		}
+	}
+}
+
+// Load returns the current level (0 on nil).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Peak returns the highest level ever set (0 on nil).
+func (g *Gauge) Peak() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.peak.Load()
+}
+
+// A Scope is one named bag of instruments (per connection, per
+// subsystem). Instrument lookup takes the scope lock once at
+// resolution time; the returned instruments are lock-free. A nil
+// *Scope resolves every instrument to nil.
+type Scope struct {
+	name     string
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// Name returns the scope's registry name ("" on nil).
+func (s *Scope) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Counter returns the named counter, creating it on first use.
+func (s *Scope) Counter(name string) *Counter {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.counters[name]
+	if c == nil {
+		c = new(Counter)
+		s.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (s *Scope) Gauge(name string) *Gauge {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g := s.gauges[name]
+	if g == nil {
+		g = new(Gauge)
+		s.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (s *Scope) Histogram(name string) *Histogram {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := s.hists[name]
+	if h == nil {
+		h = new(Histogram)
+		s.hists[name] = h
+	}
+	return h
+}
+
+// A Sink is what an instrumented component holds: a Scope to resolve
+// named instruments from plus the shared lifecycle event Ring. The
+// zero Sink (Nop) is the disabled state — every instrument resolves to
+// nil and every event record is a no-op — so configs embed a Sink by
+// value and stay zero-value ready.
+type Sink struct {
+	Scope *Scope
+	Ring  *Ring
+}
+
+// Nop returns the disabled sink (the zero value, named for clarity).
+func Nop() Sink { return Sink{} }
+
+// Enabled reports whether the sink has a live scope.
+func (s Sink) Enabled() bool { return s.Scope != nil }
+
+// Counter resolves a named counter (nil when disabled).
+func (s Sink) Counter(name string) *Counter { return s.Scope.Counter(name) }
+
+// Gauge resolves a named gauge (nil when disabled).
+func (s Sink) Gauge(name string) *Gauge { return s.Scope.Gauge(name) }
+
+// Histogram resolves a named histogram (nil when disabled).
+func (s Sink) Histogram(name string) *Histogram { return s.Scope.Histogram(name) }
+
+// Event records one chunk-lifecycle event on the shared ring (no-op
+// when disabled).
+func (s Sink) Event(kind EventKind, cid, tid uint32, sn uint64, arg int64) {
+	s.Ring.Record(kind, cid, tid, sn, arg)
+}
+
+// A Registry holds the named scopes of one process plus the shared
+// lifecycle event ring. All methods are safe on a nil *Registry
+// (returning disabled scopes/sinks), so "no telemetry" is spelled by
+// leaving the Config field nil.
+type Registry struct {
+	mu     sync.Mutex
+	scopes map[string]*Scope
+	ring   *Ring
+}
+
+// New returns a Registry whose lifecycle ring holds ringCap events
+// (rounded up to a power of two; 0 means 4096).
+func New(ringCap int) *Registry {
+	if ringCap <= 0 {
+		ringCap = 4096
+	}
+	return &Registry{
+		scopes: make(map[string]*Scope),
+		ring:   NewRing(ringCap),
+	}
+}
+
+// Scope returns the named scope, creating it on first use (nil on a
+// nil registry).
+func (r *Registry) Scope(name string) *Scope {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.scopes[name]
+	if s == nil {
+		s = &Scope{
+			name:     name,
+			counters: make(map[string]*Counter),
+			gauges:   make(map[string]*Gauge),
+			hists:    make(map[string]*Histogram),
+		}
+		r.scopes[name] = s
+	}
+	return s
+}
+
+// Sink returns a live Sink bound to the named scope and the shared
+// ring — or the no-op Sink on a nil registry.
+func (r *Registry) Sink(name string) Sink {
+	if r == nil {
+		return Sink{}
+	}
+	return Sink{Scope: r.Scope(name), Ring: r.ring}
+}
+
+// Ring returns the shared lifecycle event ring (nil on nil).
+func (r *Registry) Ring() *Ring {
+	if r == nil {
+		return nil
+	}
+	return r.ring
+}
+
+// GaugeValue is one gauge reading: the level at snapshot time and the
+// peak ever seen.
+type GaugeValue struct {
+	Value int64 `json:"value"`
+	Peak  int64 `json:"peak"`
+}
+
+// ScopeSnapshot is the frozen state of one scope.
+type ScopeSnapshot struct {
+	Counters   map[string]int64        `json:"counters,omitempty"`
+	Gauges     map[string]GaugeValue   `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot is a consistent-enough copy of the whole registry: every
+// instrument's value, the retained lifecycle events, and the per-kind
+// event totals (which outlive ring wraparound).
+type Snapshot struct {
+	Scopes      map[string]ScopeSnapshot `json:"scopes"`
+	Events      []Event                  `json:"events,omitempty"`
+	EventTotal  uint64                   `json:"event_total"`
+	EventCounts map[string]uint64        `json:"event_counts,omitempty"`
+}
+
+// Snapshot freezes the registry. Safe on nil (empty snapshot).
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{Scopes: map[string]ScopeSnapshot{}}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.scopes))
+	for n := range r.scopes {
+		names = append(names, n)
+	}
+	scopes := make([]*Scope, 0, len(names))
+	for _, n := range names {
+		scopes = append(scopes, r.scopes[n])
+	}
+	r.mu.Unlock()
+
+	for i, s := range scopes {
+		ss := ScopeSnapshot{
+			Counters:   map[string]int64{},
+			Gauges:     map[string]GaugeValue{},
+			Histograms: map[string]HistSnapshot{},
+		}
+		s.mu.Lock()
+		for n, c := range s.counters {
+			ss.Counters[n] = c.Load()
+		}
+		for n, g := range s.gauges {
+			ss.Gauges[n] = GaugeValue{Value: g.Load(), Peak: g.Peak()}
+		}
+		for n, h := range s.hists {
+			ss.Histograms[n] = h.Snapshot()
+		}
+		s.mu.Unlock()
+		snap.Scopes[names[i]] = ss
+	}
+	if r.ring != nil {
+		snap.Events = r.ring.Snapshot()
+		snap.EventTotal = r.ring.Total()
+		counts := r.ring.KindCounts()
+		if len(counts) > 0 {
+			snap.EventCounts = make(map[string]uint64, len(counts))
+			for k, n := range counts {
+				snap.EventCounts[k.String()] = n
+			}
+		}
+	}
+	return snap
+}
+
+// Diff returns the change from prev to s: counters, histogram counts
+// and event totals are subtracted; gauges keep their current reading;
+// only events recorded after prev are retained.
+func (s Snapshot) Diff(prev Snapshot) Snapshot {
+	out := Snapshot{
+		Scopes:     map[string]ScopeSnapshot{},
+		EventTotal: s.EventTotal - prev.EventTotal,
+	}
+	for name, cur := range s.Scopes {
+		old := prev.Scopes[name]
+		d := ScopeSnapshot{
+			Counters:   map[string]int64{},
+			Gauges:     cur.Gauges,
+			Histograms: map[string]HistSnapshot{},
+		}
+		for n, v := range cur.Counters {
+			d.Counters[n] = v - old.Counters[n]
+		}
+		for n, h := range cur.Histograms {
+			d.Histograms[n] = h.Diff(old.Histograms[n])
+		}
+		out.Scopes[name] = d
+	}
+	for _, ev := range s.Events {
+		if ev.Seq > prev.EventTotal {
+			out.Events = append(out.Events, ev)
+		}
+	}
+	if len(s.EventCounts) > 0 {
+		out.EventCounts = make(map[string]uint64, len(s.EventCounts))
+		for k, n := range s.EventCounts {
+			out.EventCounts[k] = n - prev.EventCounts[k]
+		}
+	}
+	return out
+}
+
+// WriteText renders the snapshot for humans, deterministically sorted.
+func (s Snapshot) WriteText(w io.Writer) {
+	names := make([]string, 0, len(s.Scopes))
+	for n := range s.Scopes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ss := s.Scopes[name]
+		fmt.Fprintf(w, "scope %s\n", name)
+		for _, n := range sortedKeys(ss.Counters) {
+			fmt.Fprintf(w, "  %-24s %d\n", n, ss.Counters[n])
+		}
+		for _, n := range sortedKeys(ss.Gauges) {
+			g := ss.Gauges[n]
+			fmt.Fprintf(w, "  %-24s %d (peak %d)\n", n, g.Value, g.Peak)
+		}
+		for _, n := range sortedKeys(ss.Histograms) {
+			fmt.Fprintf(w, "  %-24s %s\n", n, ss.Histograms[n])
+		}
+	}
+	if s.EventTotal > 0 {
+		fmt.Fprintf(w, "events total=%d retained=%d\n", s.EventTotal, len(s.Events))
+		for _, k := range sortedKeys(s.EventCounts) {
+			fmt.Fprintf(w, "  %-24s %d\n", k, s.EventCounts[k])
+		}
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -2,10 +2,12 @@ package transport
 
 import (
 	"fmt"
+	"sort"
 
 	"chunks/internal/chunk"
 	"chunks/internal/errdet"
 	"chunks/internal/packet"
+	"chunks/internal/telemetry"
 	"chunks/internal/vr"
 )
 
@@ -34,6 +36,10 @@ type ReceiverConfig struct {
 	// rebuilds the TPDU from scratch via normal retransmission. 0
 	// disables reaping.
 	ReapAfter int
+
+	// Tel receives the receiver's runtime metrics and lifecycle
+	// events. The zero Sink disables instrumentation at no cost.
+	Tel telemetry.Sink
 }
 
 // A Receiver is the receive side of one chunk connection: it places
@@ -64,7 +70,44 @@ type Receiver struct {
 	delivered map[uint32]bool      // frames delivered
 	frames    map[uint32]*frameRec // X.ID -> placement info
 
+	round     int             // Poll rounds elapsed (telemetry timeline)
+	firstSeen map[uint32]int  // Poll round a TPDU's first chunk arrived in
+	verdicted map[uint32]bool // verdict telemetry closed out (once per TPDU)
+
 	pack packet.Packer
+	tel  recvTel
+}
+
+// recvTel bundles the receiver's pre-resolved instruments. With a
+// disabled Sink every field is nil and every use is a no-op branch.
+type recvTel struct {
+	chunks    *telemetry.Counter   // data chunks ingested
+	placed    *telemetry.Counter   // payload bytes placed (fresh only)
+	verified  *telemetry.Counter   // TPDUs with VerdictOK
+	failed    *telemetry.Counter   // TPDUs with a non-OK final verdict
+	repaired  *telemetry.Counter   // TPDUs fixed by WSC-2 repair
+	reapedC   *telemetry.Counter   // stale TPDUs dropped
+	nacks     *telemetry.Counter   // NACK chunks emitted
+	chunkLen  *telemetry.Histogram // data chunk sizes, elements
+	intervals *telemetry.Histogram // TPDU interval-set size per ingest
+	polls     *telemetry.Histogram // Poll rounds from first chunk to verdict
+	ring      *telemetry.Ring
+}
+
+func newRecvTel(t telemetry.Sink) recvTel {
+	return recvTel{
+		chunks:    t.Counter("chunks_received"),
+		placed:    t.Counter("bytes_placed"),
+		verified:  t.Counter("tpdus_verified"),
+		failed:    t.Counter("tpdus_failed"),
+		repaired:  t.Counter("tpdus_repaired"),
+		reapedC:   t.Counter("tpdus_reaped"),
+		nacks:     t.Counter("nacks_sent"),
+		chunkLen:  t.Histogram("chunk_elems"),
+		intervals: t.Histogram("reassembly_intervals"),
+		polls:     t.Histogram("reassembly_polls"),
+		ring:      t.Ring,
+	}
 }
 
 // frameRec locates an external PDU within the connection stream.
@@ -99,7 +142,10 @@ func NewReceiver(cfg ReceiverConfig, out func([]byte)) (*Receiver, error) {
 		notified:  make(map[uint32]bool),
 		delivered: make(map[uint32]bool),
 		frames:    make(map[uint32]*frameRec),
+		firstSeen: make(map[uint32]int),
+		verdicted: make(map[uint32]bool),
 		pack:      packet.Packer{MTU: cfg.MTU},
+		tel:       newRecvTel(cfg.Tel),
 	}, nil
 }
 
@@ -142,6 +188,9 @@ func (r *Receiver) HandleChunk(c *chunk.Chunk) error {
 		return nil
 	case chunk.TypeData:
 		r.trackFrame(c)
+		r.tel.chunks.Inc()
+		r.tel.chunkLen.Observe(int64(c.Len))
+		r.tel.ring.Record(telemetry.EvReceived, c.C.ID, c.T.ID, c.T.SN, int64(c.Len))
 		// Verification first: only FRESH, check-accepted element
 		// ranges are placed, so a corrupted duplicate can never
 		// overwrite good data (Section 3.3's duplicate rule).
@@ -151,9 +200,11 @@ func (r *Receiver) HandleChunk(c *chunk.Chunk) error {
 		}
 		for _, iv := range fresh {
 			r.place(c, iv.Lo, iv.Hi)
+			r.tel.placed.Add(int64((iv.Hi - iv.Lo) * uint64(c.Size)))
+			r.tel.ring.Record(telemetry.EvPlaced, c.C.ID, c.T.ID, iv.Lo, int64(iv.Hi-iv.Lo))
 		}
-		r.tids[c.T.ID] = true
-		delete(r.stale, c.T.ID) // arrival: the TPDU is not stale
+		r.seen(c.T.ID)
+		r.tel.intervals.Observe(int64(r.ed.Fragments(c.T.ID)))
 		r.after(c.T.ID)
 		r.deliverFrames(c.X.ID)
 		return nil
@@ -161,8 +212,7 @@ func (r *Receiver) HandleChunk(c *chunk.Chunk) error {
 		if err := r.ed.Ingest(c); err != nil {
 			return err
 		}
-		r.tids[c.T.ID] = true
-		delete(r.stale, c.T.ID)
+		r.seen(c.T.ID)
 		r.after(c.T.ID)
 		return nil
 	case chunk.TypeAck, chunk.TypeNack:
@@ -201,6 +251,19 @@ func (r *Receiver) trackFrame(c *chunk.Chunk) {
 	}
 }
 
+// seen marks a TPDU as alive (not stale) and stamps the Poll round its
+// first chunk arrived in, for the reassembly-latency histogram.
+func (r *Receiver) seen(tid uint32) {
+	r.tids[tid] = true
+	delete(r.stale, tid) // arrival: the TPDU is not stale
+	// Don't restart the latency clock for duplicates of a TPDU whose
+	// verdict telemetry already closed out (a retransmission after a
+	// lost ACK) — that would double-count the verdict in after().
+	if _, ok := r.firstSeen[tid]; !ok && !r.verdicted[tid] {
+		r.firstSeen[tid] = r.round
+	}
+}
+
 // after runs completion actions once a TPDU reaches a verdict:
 // acknowledge verified TPDUs (the ACK may be piggybacked by the packer
 // with other control, Appendix A).
@@ -213,12 +276,27 @@ func (r *Receiver) after(tid uint32) {
 		if cor, ok := r.ed.Repair(tid); ok {
 			cor.Apply(r.stream, r.size())
 			r.repaired++
+			r.tel.repaired.Inc()
 			v = r.ed.Verdict(tid)
 		}
 	}
 	if r.cfg.OnTPDU != nil && !r.notified[tid] {
 		r.notified[tid] = true
 		r.cfg.OnTPDU(tid, v)
+	}
+	// First time this TPDU reaches a verdict: close out its telemetry
+	// (reassembly latency in Poll rounds, verified/failed counts, the
+	// TPDU-complete lifecycle event).
+	if first, ok := r.firstSeen[tid]; ok {
+		delete(r.firstSeen, tid)
+		r.verdicted[tid] = true
+		r.tel.polls.Observe(int64(r.round - first))
+		if v == errdet.VerdictOK {
+			r.tel.verified.Inc()
+			r.tel.ring.Record(telemetry.EvComplete, r.cid, tid, uint64(tid), 0)
+		} else {
+			r.tel.failed.Inc()
+		}
 	}
 	if v == errdet.VerdictOK {
 		// ACK on first completion AND on every later duplicate: a
@@ -261,8 +339,17 @@ func (r *Receiver) deliverFrames(xid uint32) {
 // unknown), or an empty interval list when only the ED chunk is
 // outstanding. Call once per pump round.
 func (r *Receiver) Poll() {
+	r.round++
 	var ctrl []chunk.Chunk
+	// Sorted scan: NACK emission order decides how control chunks pack
+	// into datagrams, so map iteration order would break seeded-run
+	// determinism.
+	tids := make([]uint32, 0, len(r.tids))
 	for tid := range r.tids {
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	for _, tid := range tids {
 		if r.acked[tid] || r.ed.Verdict(tid) != errdet.VerdictPending {
 			continue
 		}
@@ -288,7 +375,11 @@ func (r *Receiver) Poll() {
 			delete(r.progress, tid)
 			delete(r.stalled, tid)
 			delete(r.stale, tid)
+			delete(r.firstSeen, tid)
+			delete(r.verdicted, tid)
 			r.reaped++
+			r.tel.reapedC.Inc()
+			r.tel.ring.Record(telemetry.EvReaped, r.cid, tid, uint64(tid), 0)
 			continue
 		}
 		if prev, ok := r.progress[tid]; !ok || prev != fp {
@@ -318,6 +409,7 @@ func (r *Receiver) Poll() {
 		ctrl = append(ctrl, Nack(r.cid, tid, miss))
 	}
 	if len(ctrl) > 0 {
+		r.tel.nacks.Add(int64(len(ctrl)))
 		r.emit(ctrl)
 	}
 }

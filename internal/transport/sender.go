@@ -3,11 +3,13 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"chunks/internal/chunk"
 	"chunks/internal/errdet"
 	"chunks/internal/packet"
+	"chunks/internal/telemetry"
 	"chunks/internal/vr"
 )
 
@@ -56,6 +58,10 @@ type SenderConfig struct {
 
 	// Layout is the error detection invariant layout.
 	Layout errdet.Layout
+
+	// Tel receives the sender's runtime metrics and lifecycle events.
+	// The zero Sink disables instrumentation at no cost.
+	Tel telemetry.Sink
 }
 
 func (c *SenderConfig) fill() {
@@ -164,18 +170,55 @@ type Sender struct {
 	TPDUsSent   int
 	Retransmits int
 	AcksSeen    int
+
+	tel senderTel
+}
+
+// senderTel bundles the sender's pre-resolved instruments. With a
+// disabled Sink every field is nil and every use is a no-op branch.
+type senderTel struct {
+	tpdus      *telemetry.Counter   // TPDUs cut
+	retransmit *telemetry.Counter   // retransmissions (timer + NACK)
+	acks       *telemetry.Counter   // ACKs processed
+	bytes      *telemetry.Counter   // payload bytes cut into TPDUs
+	rtt        *telemetry.Histogram // RTT samples, microseconds
+	rto        *telemetry.Histogram // expired RTOs, microseconds
+	elems      *telemetry.Histogram // TPDU sizes, elements
+	dgram      *telemetry.Histogram // emitted datagram sizes, bytes
+	retries    *telemetry.Histogram // per-TPDU retries at ACK time
+	ring       *telemetry.Ring
+}
+
+func newSenderTel(t telemetry.Sink) senderTel {
+	return senderTel{
+		tpdus:      t.Counter("tpdus_sent"),
+		retransmit: t.Counter("retransmits"),
+		acks:       t.Counter("acks_seen"),
+		bytes:      t.Counter("bytes_written"),
+		rtt:        t.Histogram("rtt_us"),
+		rto:        t.Histogram("rto_expired_us"),
+		elems:      t.Histogram("tpdu_elems"),
+		dgram:      t.Histogram("datagram_bytes"),
+		retries:    t.Histogram("tpdu_retries"),
+		ring:       t.Ring,
+	}
 }
 
 // NewSender returns a Sender delivering datagrams via out.
 func NewSender(cfg SenderConfig, out func([]byte)) *Sender {
 	cfg.fill()
 	return &Sender{
-		cfg:              cfg,
-		out:              out,
-		pack:             packet.Packer{MTU: cfg.MTU},
+		cfg: cfg,
+		out: out,
+		pack: packet.Packer{
+			MTU:    cfg.MTU,
+			Fill:   cfg.Tel.Histogram("envelope_fill_pct"),
+			Events: cfg.Tel.Ring,
+		},
 		curXID:           1,
 		unacked:          make(map[uint32]*tpduRec),
 		initialTPDUElems: cfg.TPDUElems,
+		tel:              newSenderTel(cfg.Tel),
 	}
 }
 
@@ -318,6 +361,10 @@ func (s *Sender) cutTPDU(n int) error {
 	s.bufStart = end
 	s.csn = end
 	s.TPDUsSent++
+	s.tel.tpdus.Inc()
+	s.tel.bytes.Add(int64(n * es))
+	s.tel.elems.Observe(int64(n))
+	s.tel.ring.Record(telemetry.EvSent, s.cfg.CID, tid, start, int64(n*es))
 
 	return s.emit(append(append([]chunk.Chunk{}, chs...), ed))
 }
@@ -329,6 +376,8 @@ func (s *Sender) emit(chs []chunk.Chunk) error {
 		return err
 	}
 	for _, d := range datagrams {
+		s.tel.dgram.Observe(int64(len(d)))
+		s.tel.ring.Record(telemetry.EvEnveloped, s.cfg.CID, 0, 0, int64(len(d)))
 		s.out(d)
 	}
 	return nil
@@ -352,14 +401,17 @@ func (s *Sender) HandleControlAt(c *chunk.Chunk, now time.Duration) error {
 		if tid == CloseAckTID {
 			s.closeAcked = true
 			s.AcksSeen++
+			s.tel.acks.Inc()
 			return nil
 		}
 		if rec, ok := s.unacked[tid]; ok {
 			if s.cfg.InitialRTO > 0 && !rec.retransmitted {
 				s.sample(s.now - rec.sentAt)
 			}
+			s.tel.retries.Observe(int64(rec.retries))
 			delete(s.unacked, tid)
 			s.AcksSeen++
+			s.tel.acks.Inc()
 			s.grow()
 		}
 		return nil
@@ -384,6 +436,8 @@ func (s *Sender) retransmit(tid uint32, missing []vr.Interval) error {
 		return nil // already acked; stale NACK
 	}
 	s.Retransmits++
+	s.tel.retransmit.Inc()
+	s.tel.ring.Record(telemetry.EvRetransmit, s.cfg.CID, tid, rec.chunks[0].C.SN, int64(len(missing)))
 	s.adapt()
 	var out []chunk.Chunk
 	for _, iv := range missing {
@@ -478,9 +532,12 @@ func (s *Sender) Poll() error {
 			return err
 		}
 	}
-	for _, rec := range s.unacked {
+	for _, tid := range s.unackedTIDs() {
+		rec := s.unacked[tid]
 		if s.round-rec.lastSent >= s.cfg.RetransmitAfter {
 			s.Retransmits++
+			s.tel.retransmit.Inc()
+			s.tel.ring.Record(telemetry.EvRetransmit, s.cfg.CID, tid, rec.chunks[0].C.SN, 0)
 			s.adapt()
 			rec.lastSent = s.round
 			if err := s.emit(append(append([]chunk.Chunk{}, rec.chunks...), rec.ed)); err != nil {
@@ -489,6 +546,20 @@ func (s *Sender) Poll() error {
 		}
 	}
 	return nil
+}
+
+// unackedTIDs returns the in-flight TPDU IDs in ascending order.
+// Retransmission scans must not follow Go's randomized map iteration
+// order: the emit order decides which datagrams a seeded lossy pipe
+// drops, so map order would make seeded runs diverge run-to-run
+// (determinism is a repo-wide test invariant).
+func (s *Sender) unackedTIDs() []uint32 {
+	tids := make([]uint32, 0, len(s.unacked))
+	for tid := range s.unacked {
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	return tids
 }
 
 // observe advances the sender's timeline; time never runs backwards.
@@ -504,6 +575,7 @@ func (s *Sender) sample(rtt time.Duration) {
 	if rtt < 0 {
 		return
 	}
+	s.tel.rtt.Observe(rtt.Microseconds())
 	if !s.haveRTT {
 		s.srtt = rtt
 		s.rttvar = rtt / 2
@@ -572,6 +644,7 @@ func (s *Sender) PollAt(now time.Duration) error {
 	if s.closed && !s.closeAcked && s.now >= s.closeSentAt+s.closeRTO {
 		if s.cfg.MaxRetries > 0 && s.closeRetries >= s.cfg.MaxRetries {
 			s.dead = true
+			s.tel.ring.Record(telemetry.EvPeerDead, s.cfg.CID, CloseAckTID, s.csn, int64(s.closeRetries))
 			return ErrPeerDead
 		}
 		s.closeRetries++
@@ -582,20 +655,25 @@ func (s *Sender) PollAt(now time.Duration) error {
 			return err
 		}
 	}
-	for tid, rec := range s.unacked {
+	for _, tid := range s.unackedTIDs() {
+		rec := s.unacked[tid]
 		if s.now < rec.sentAt+rec.rto {
 			continue
 		}
 		if s.cfg.MaxRetries > 0 && rec.retries >= s.cfg.MaxRetries {
 			s.dead = true
+			s.tel.ring.Record(telemetry.EvPeerDead, s.cfg.CID, tid, rec.chunks[0].C.SN, int64(rec.retries))
 			return ErrPeerDead
 		}
 		rec.retries++
 		rec.retransmitted = true
 		s.RetransmitLog = append(s.RetransmitLog, RetransmitEvent{TID: tid, At: s.now, RTO: rec.rto})
+		s.tel.rto.Observe(rec.rto.Microseconds())
+		s.tel.ring.Record(telemetry.EvRetransmit, s.cfg.CID, tid, rec.chunks[0].C.SN, int64(rec.retries))
 		rec.sentAt = s.now
 		rec.rto = s.clampRTO(2 * rec.rto)
 		s.Retransmits++
+		s.tel.retransmit.Inc()
 		s.adapt()
 		if err := s.emit(append(append([]chunk.Chunk{}, rec.chunks...), rec.ed)); err != nil {
 			return err

@@ -3,6 +3,8 @@ package vr
 import (
 	"errors"
 	"fmt"
+
+	"chunks/internal/telemetry"
 )
 
 // A PDU virtually reassembles one protocol data unit whose elements
@@ -120,6 +122,10 @@ type Tracker struct {
 	// duplicates of a finished PDU are still recognised as duplicates
 	// rather than restarting tracking.
 	completed map[Key]bool
+
+	// Sizes, when set, observes the per-PDU interval-set size after
+	// every Add — the reassembly state footprint over time.
+	Sizes *telemetry.Histogram
 }
 
 // Get returns the tracker for key, creating it if needed.
@@ -141,7 +147,10 @@ func (t *Tracker) Add(key Key, sn, n uint64, st bool) ([]Interval, error) {
 	if t.completed[key] {
 		return nil, nil
 	}
-	return t.Get(key).Add(sn, n, st)
+	p := t.Get(key)
+	fresh, err := p.Add(sn, n, st)
+	t.Sizes.Observe(int64(p.Fragments()))
+	return fresh, err
 }
 
 // Complete reports whether key's PDU has fully arrived (or was already
