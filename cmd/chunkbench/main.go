@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (F1..F7, T1, B1, P1..P8, NET) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (F1..F7, T1, B1, P1..P9, NET) or 'all'")
 	seed := flag.Int64("seed", 1, "deterministic seed for randomized workloads")
 	flag.Parse()
 

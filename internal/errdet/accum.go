@@ -99,6 +99,11 @@ func (b *blockAccumulator) parity() wsc.Parity { return b.acc.Parity() }
 // — that identity is the fragmentation invariance the system rests on.
 // All chunks must be TypeData, share T.ID, C.ID and SIZE, and be
 // disjoint in T.SN.
+//
+// The overwhelmingly common caller hands chunks sorted by T.SN (a
+// sender fragments in order), where disjointness is a single running
+// comparison; the vr.IntervalSet and its allocations are only brought
+// in when an out-of-order chunk appears.
 func Encode(layout Layout, chs []chunk.Chunk) (wsc.Parity, error) {
 	if err := layout.Validate(); err != nil {
 		return wsc.Parity{}, err
@@ -107,7 +112,8 @@ func Encode(layout Layout, chs []chunk.Chunk) (wsc.Parity, error) {
 		return wsc.Parity{}, fmt.Errorf("errdet: empty TPDU")
 	}
 	b := blockAccumulator{layout: layout}
-	var seen vr.IntervalSet
+	var seen *vr.IntervalSet
+	sorted, prevHi := true, uint64(0)
 	tid, cid := chs[0].T.ID, chs[0].C.ID
 	cst := false
 	for i := range chs {
@@ -119,8 +125,21 @@ func Encode(layout Layout, chs []chunk.Chunk) (wsc.Parity, error) {
 			return wsc.Parity{}, fmt.Errorf("errdet: chunk %d belongs to a different PDU", i)
 		}
 		lo, hi := c.T.SN, c.T.SN+uint64(c.Len)
-		if fresh := seen.Add(lo, hi); len(fresh) != 1 || fresh[0] != (vr.Interval{Lo: lo, Hi: hi}) {
-			return wsc.Parity{}, fmt.Errorf("errdet: chunk %d overlaps another chunk", i)
+		if sorted && (i == 0 || lo >= prevHi) {
+			prevHi = hi
+		} else {
+			if sorted {
+				// First out-of-order chunk: replay the sorted prefix
+				// into an interval set and continue on the slow path.
+				sorted = false
+				seen = new(vr.IntervalSet)
+				for j := 0; j < i; j++ {
+					seen.Add(chs[j].T.SN, chs[j].T.SN+uint64(chs[j].Len))
+				}
+			}
+			if fresh := seen.Add(lo, hi); len(fresh) != 1 || fresh[0] != (vr.Interval{Lo: lo, Hi: hi}) {
+				return wsc.Parity{}, fmt.Errorf("errdet: chunk %d overlaps another chunk", i)
+			}
 		}
 		if err := b.addData(c, lo, hi); err != nil {
 			return wsc.Parity{}, err

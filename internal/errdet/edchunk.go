@@ -17,13 +17,21 @@ var ErrNotED = errors.New("errdet: not an ED chunk")
 
 // EDChunk builds the error detection control chunk for a TPDU.
 func EDChunk(cid, tid uint32, csn uint64, par wsc.Parity) chunk.Chunk {
+	return EDChunkAppend(cid, tid, csn, par, nil)
+}
+
+// EDChunkAppend is EDChunk with caller-owned payload storage: the
+// parity is encoded into buf's capacity (buf[:0]), so a sender that
+// recycles its per-TPDU scratch buffers builds ED chunks without
+// allocating. The returned chunk's payload aliases buf.
+func EDChunkAppend(cid, tid uint32, csn uint64, par wsc.Parity, buf []byte) chunk.Chunk {
 	return chunk.Chunk{
 		Type:    chunk.TypeED,
 		Size:    wsc.ParitySize,
 		Len:     1,
 		C:       chunk.Tuple{ID: cid, SN: csn},
 		T:       chunk.Tuple{ID: tid},
-		Payload: par.AppendBinary(nil),
+		Payload: par.AppendBinary(buf[:0]),
 	}
 }
 

@@ -1,0 +1,72 @@
+package errdet
+
+import (
+	"testing"
+
+	"chunks/internal/chunk"
+	"chunks/internal/telemetry"
+	"chunks/internal/wsc"
+)
+
+// The sorted fast path of Encode must detect overlaps even when the
+// overlapping chunk arrives after an out-of-order one (the replayed
+// interval-set path).
+func TestEncodeUnsortedOverlapRejected(t *testing.T) {
+	l := DefaultLayout()
+	orig := makeTPDU(9, 12, 4, 9)
+	a, b, err := orig.Split(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, b2, err := b.Split(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Out of order (forces the slow path), then a duplicate of b2.
+	if _, err := Encode(l, []chunk.Chunk{b2, a, b1, b2}); err == nil {
+		t.Fatal("Encode accepted an overlapping chunk after unsorted input")
+	}
+}
+
+// TestEDChunkAppendReusesBuffer pins the zero-alloc contract: the ED
+// payload is built inside the caller's buffer.
+func TestEDChunkAppendReusesBuffer(t *testing.T) {
+	par := wsc.Parity{P0: 0xDEADBEEF, P1: 0x12345678}
+	buf := make([]byte, 0, wsc.ParitySize)
+	c := EDChunkAppend(7, 8, 99, par, buf)
+	if got, err := ParseED(&c); err != nil || got != par {
+		t.Fatalf("ParseED = %+v, %v; want %+v", got, err, par)
+	}
+	if &c.Payload[0] != &buf[:1][0] {
+		t.Fatal("EDChunkAppend did not reuse the caller's buffer")
+	}
+	ref := EDChunk(7, 8, 99, par)
+	if got, _ := ParseED(&ref); got != par {
+		t.Fatalf("EDChunk changed behaviour: %+v", got)
+	}
+}
+
+// TestReceiverWSCTelemetry checks the wsc_bytes counter and the
+// run-size histogram fill as fresh data flows through ingestData.
+func TestReceiverWSCTelemetry(t *testing.T) {
+	reg := telemetry.New(0)
+	r := newReceiver(t)
+	sink := telemetry.Sink{Scope: reg.Scope("errdet")}
+	r.SetTelemetry(sink)
+
+	frags, ed := buildTPDU(t, 3, 16, 4)
+	ingestAll(t, r, frags)
+	if err := r.Ingest(&ed); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicates must not count: only fresh runs hit the kernel.
+	ingestAll(t, r, frags)
+
+	want := int64(16 * 4)
+	if got := sink.Counter("wsc_bytes").Load(); got != want {
+		t.Fatalf("wsc_bytes = %d, want %d", got, want)
+	}
+	if got := sink.Histogram("wsc_run_bytes").Count(); got != int64(len(frags)) {
+		t.Fatalf("wsc_run_bytes count = %d, want %d runs", got, len(frags))
+	}
+}

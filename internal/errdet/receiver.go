@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"chunks/internal/chunk"
+	"chunks/internal/telemetry"
 	"chunks/internal/vr"
 	"chunks/internal/wsc"
 )
@@ -53,6 +54,27 @@ type Receiver struct {
 	tpdus    map[uint32]*tpduState
 	xs       map[uint32]*xState
 	findings []Finding
+
+	// Checksum-kernel instruments (nil until SetTelemetry): how many
+	// payload bytes went through the WSC-2 kernels and the size
+	// distribution of the contiguous runs they arrived in — the run
+	// length decides which kernel tier (scalar, table, SIMD) does the
+	// work, so the histogram is the capacity-planning view of the P9
+	// experiment.
+	wscBytes    *telemetry.Counter
+	wscRunBytes *telemetry.Histogram
+}
+
+// SetTelemetry attaches checksum instruments resolved from the sink's
+// scope: counter "wsc_bytes" and histogram "wsc_run_bytes". Safe to
+// call with the zero Sink (disables instrumentation).
+func (r *Receiver) SetTelemetry(tel telemetry.Sink) {
+	if !tel.Enabled() {
+		r.wscBytes, r.wscRunBytes = nil, nil
+		return
+	}
+	r.wscBytes = tel.Counter("wsc_bytes")
+	r.wscRunBytes = tel.Histogram("wsc_run_bytes")
 }
 
 // NewReceiver returns a Receiver using the given invariant layout.
@@ -178,6 +200,9 @@ func (r *Receiver) ingestData(c *chunk.Chunk) []vr.Interval {
 			r.flag(VerdictReassembly, c.T.ID, "data outside layout: %v", err)
 			return nil
 		}
+		run := int64(iv.Hi-iv.Lo) * int64(c.Size)
+		r.wscBytes.Add(run)
+		r.wscRunBytes.Observe(run)
 	}
 
 	// Trigger encoding: only if the trigger element (the chunk's last)

@@ -14,7 +14,7 @@ func TestAllExperimentsRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	wantIDs := []string{"F1", "F2", "F3", "F4", "F5", "F6", "F7", "T1", "B1",
-		"P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8", "NET"}
+		"P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8", "P9", "NET"}
 	if len(tables) != len(wantIDs) {
 		t.Fatalf("%d tables, want %d", len(tables), len(wantIDs))
 	}
@@ -176,6 +176,28 @@ func TestP6Shape(t *testing.T) {
 	for i := range tb.Rows {
 		if numCell(t, tb, i, 4) < 2 {
 			t.Errorf("row %d: reduction below 2x", i)
+		}
+	}
+}
+
+// TestP9Shape: every kernel must agree with the scalar reference
+// (parity column "ok" in every row). The throughput columns are
+// wall-clock and not asserted here beyond being positive; the ≥4×
+// acceptance ratio is recorded by BenchmarkP9ChecksumKernels and
+// EXPERIMENTS.md.
+func TestP9Shape(t *testing.T) {
+	tb, err := P9(23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range tb.Rows {
+		if r.Cells[6] != "ok" {
+			t.Errorf("row %d (%s): parity %s", i, r.Cells[0], r.Cells[6])
+		}
+		for col := 1; col <= 4; col++ {
+			if numCell(t, tb, i, col) <= 0 {
+				t.Errorf("row %d col %d: non-positive throughput", i, col)
+			}
 		}
 	}
 }

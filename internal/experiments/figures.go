@@ -229,7 +229,7 @@ func All(seed int64) ([]*Table, error) {
 		seeded(T1), seeded(B1),
 		seeded(P1), seeded(P2), seeded(P3), seeded(P4),
 		func() (*Table, error) { return P5(seed, 2000) },
-		seeded(P6), P7, seeded(P8),
+		seeded(P6), P7, seeded(P8), seeded(P9),
 		seeded(Disordering),
 	}
 	var out []*Table
@@ -243,7 +243,7 @@ func All(seed int64) ([]*Table, error) {
 	return out, nil
 }
 
-// ByID returns the generator for one experiment id ("F1".."P8",
+// ByID returns the generator for one experiment id ("F1".."P9",
 // "T1", "NET"), or nil.
 func ByID(id string, seed int64) func() (*Table, error) {
 	switch id {
@@ -281,6 +281,8 @@ func ByID(id string, seed int64) func() (*Table, error) {
 		return P7
 	case "P8":
 		return func() (*Table, error) { return P8(seed) }
+	case "P9":
+		return func() (*Table, error) { return P9(seed) }
 	case "NET":
 		return func() (*Table, error) { return Disordering(seed) }
 	}

@@ -62,8 +62,11 @@ func Pow(a uint32, e uint64) uint32 {
 
 // AlphaPow returns Alpha**e, the weight attached to symbol position e by
 // the WSC-2 code. Exponents are reduced modulo Order since Alpha
-// generates the full multiplicative group.
-func AlphaPow(e uint64) uint32 { return Pow(Alpha, e%Order) }
+// generates the full multiplicative group. The exponent is decomposed
+// into 4 bytes and resolved against precomputed α^(b·2^{8j}) tables —
+// 4 lookups and at most 3 Muls (see tables.go); AlphaPowScalar is the
+// pinned square-and-multiply reference.
+func AlphaPow(e uint64) uint32 { return alphaPowFast(uint32(e % Order)) }
 
 // Inv returns the multiplicative inverse of a. Inv(0) is 0 by
 // convention (0 has no inverse; callers must not rely on it).
@@ -82,14 +85,12 @@ func Div(a, b uint32) uint32 { return Mul(a, Inv(b)) }
 // shift plus conditional reduction, much cheaper than a full Mul. Hot
 // loops (Horner evaluation in the WSC-2 encoder) use this.
 
-// MulAlpha returns a * Alpha.
+// MulAlpha returns a * Alpha. The reduction is branchless: the top bit
+// is smeared across the word by an arithmetic shift and masks Poly in,
+// so the data-dependent (hence unpredictable) branch of the obvious
+// formulation never reaches the branch predictor.
 func MulAlpha(a uint32) uint32 {
-	hi := a & 0x8000_0000
-	a <<= 1
-	if hi != 0 {
-		a ^= Poly
-	}
-	return a
+	return a<<1 ^ (uint32(int32(a)>>31) & Poly)
 }
 
 // Horner evaluates sum over i of Alpha^i * d[i] for i = 0..len(d)-1
@@ -97,7 +98,14 @@ func MulAlpha(a uint32) uint32 {
 // This is the contiguous-run primitive the WSC-2 encoder builds on: a
 // run of n symbols starting at absolute position p contributes
 // Alpha^p * Horner(run) to the weighted parity.
+//
+// Long runs dispatch to the lane-split table kernel (tables.go), which
+// is bit-identical to the scalar recurrence; HornerScalar is the
+// pinned single-chain reference.
 func Horner(d []uint32) uint32 {
+	if len(d) >= slicedMin {
+		return hornerSliced(d)
+	}
 	var acc uint32
 	for i := len(d) - 1; i >= 0; i-- {
 		acc = MulAlpha(acc) ^ d[i]

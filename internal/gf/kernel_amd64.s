@@ -1,0 +1,164 @@
+// AVX2 + PCLMULQDQ shift-tree kernel for the WSC-2 byte path.
+//
+// The layout mirrors the pure-Go tree kernel in tables.go: each
+// 128-byte block (32 big-endian symbols, two per qword) is combined
+// into one polynomial z of degree <= 62 by a shift/XOR tree, and a
+// single unreduced accumulator A (degree < 96, held in an XMM) steps
+// by x^32 per block:
+//
+//	A' = lo(A)·x^32  ^  hi(A)·(x^96 mod P)  ^  z
+//
+// via two carryless multiplies — the same folding scheme as the Intel
+// PCLMULQDQ CRC paper, with constants for this field's polynomial.
+// The tree levels run 4 qwords at a time in YMM registers: VPSLLVQ
+// applies the per-lane weights x^{0,2,4,6} in one instruction, whole
+// register shifts apply x^{8,16,24}, and a horizontal XOR folds the 4
+// partial sums into z. The raw (unswapped) data XOR rides along for
+// the P0 parity; byte order is fixed up once by the Go caller.
+//
+// See hornerSumBytesCLMUL in kernel_amd64.go for the caller contract.
+
+#include "textflag.h"
+
+// Byte-reverse each qword (big-endian load) via VPSHUFB.
+DATA bswapQ<>+0(SB)/8, $0x0001020304050607
+DATA bswapQ<>+8(SB)/8, $0x08090a0b0c0d0e0f
+DATA bswapQ<>+16(SB)/8, $0x0001020304050607
+DATA bswapQ<>+24(SB)/8, $0x08090a0b0c0d0e0f
+GLOBL bswapQ<>(SB), RODATA, $32
+
+// Low-half mask for the level-1 combine t = (w>>32) ^ ((w&lo32)<<1).
+DATA lo32Q<>+0(SB)/8, $0x00000000ffffffff
+DATA lo32Q<>+8(SB)/8, $0x00000000ffffffff
+DATA lo32Q<>+16(SB)/8, $0x00000000ffffffff
+DATA lo32Q<>+24(SB)/8, $0x00000000ffffffff
+GLOBL lo32Q<>(SB), RODATA, $32
+
+// Per-lane weights x^{0,2,4,6} for VPSLLVQ.
+DATA sllvQ<>+0(SB)/8, $0
+DATA sllvQ<>+8(SB)/8, $2
+DATA sllvQ<>+16(SB)/8, $4
+DATA sllvQ<>+24(SB)/8, $6
+GLOBL sllvQ<>(SB), RODATA, $32
+
+// func hornerTreeCLMUL(p *byte, blocks int, seed uint64, k *[2]uint64) (accLo, accHi, xorRaw uint64)
+TEXT ·hornerTreeCLMUL(SB), NOSPLIT, $0-56
+	MOVQ p+0(FP), SI
+	MOVQ blocks+8(FP), DX
+	MOVQ k+24(FP), AX
+
+	// X9 = acc, seeded with the (reduced) parity of everything above
+	// the full blocks.
+	MOVQ seed+16(FP), X9
+
+	// X0 = folding constants [x^32, x^96 mod P].
+	VMOVDQU (AX), X0
+
+	VMOVDQU bswapQ<>(SB), Y5
+	VMOVDQU lo32Q<>(SB), Y6
+	VMOVDQU sllvQ<>(SB), Y7
+	VPXOR   Y8, Y8, Y8             // raw data XOR
+
+	// Walk blocks from the top of the buffer down (Horner order).
+	MOVQ DX, R8
+	SHLQ $7, R8
+	LEAQ -128(SI)(R8*1), SI
+
+blockloop:
+	VMOVDQU (SI), Y1
+	VMOVDQU 32(SI), Y2
+	VMOVDQU 64(SI), Y3
+	VMOVDQU 96(SI), Y4
+
+	VPXOR Y1, Y8, Y8
+	VPXOR Y2, Y8, Y8
+	VPXOR Y3, Y8, Y8
+	VPXOR Y4, Y8, Y8
+
+	VPSHUFB Y5, Y1, Y1
+	VPSHUFB Y5, Y2, Y2
+	VPSHUFB Y5, Y3, Y3
+	VPSHUFB Y5, Y4, Y4
+
+	// Level 1: t = (w>>32) ^ ((w & lo32) << 1), four qwords at a time.
+	VPSRLQ $32, Y1, Y10
+	VPAND  Y6, Y1, Y1
+	VPSLLQ $1, Y1, Y1
+	VPXOR  Y10, Y1, Y1
+
+	VPSRLQ $32, Y2, Y11
+	VPAND  Y6, Y2, Y2
+	VPSLLQ $1, Y2, Y2
+	VPXOR  Y11, Y2, Y2
+
+	VPSRLQ $32, Y3, Y12
+	VPAND  Y6, Y3, Y3
+	VPSLLQ $1, Y3, Y3
+	VPXOR  Y12, Y3, Y3
+
+	VPSRLQ $32, Y4, Y13
+	VPAND  Y6, Y4, Y4
+	VPSLLQ $1, Y4, Y4
+	VPXOR  Y13, Y4, Y4
+
+	// Per-lane weights x^{0,2,4,6} then per-register x^{8,16,24}.
+	VPSLLVQ Y7, Y1, Y1
+	VPSLLVQ Y7, Y2, Y2
+	VPSLLVQ Y7, Y3, Y3
+	VPSLLVQ Y7, Y4, Y4
+
+	VPSLLQ $8, Y2, Y2
+	VPSLLQ $16, Y3, Y3
+	VPSLLQ $24, Y4, Y4
+
+	VPXOR Y2, Y1, Y1
+	VPXOR Y4, Y3, Y3
+	VPXOR Y3, Y1, Y1
+
+	// Horizontal XOR of the 4 partial sums: z in X1 low qword.
+	VEXTRACTI128 $1, Y1, X10
+	VPXOR        X10, X1, X1
+	VPUNPCKHQDQ  X1, X1, X10
+	VPXOR        X10, X1, X1
+
+	// Fold: acc = clmul(lo(acc), x^32) ^ clmul(hi(acc), x^96 mod P) ^ z.
+	VPCLMULQDQ $0x00, X0, X9, X10
+	VPCLMULQDQ $0x11, X0, X9, X11
+	VPXOR      X11, X10, X9
+	VPXOR      X1, X9, X9
+
+	SUBQ $128, SI
+	DECQ DX
+	JNZ  blockloop
+
+	// Fold the raw XOR accumulator to one qword.
+	VEXTRACTI128 $1, Y8, X10
+	VPXOR        X10, X8, X8
+	VPUNPCKHQDQ  X8, X8, X10
+	VPXOR        X10, X8, X8
+
+	MOVQ        X9, accLo+32(FP)
+	VPUNPCKHQDQ X9, X9, X11
+	MOVQ        X11, accHi+40(FP)
+	MOVQ        X8, xorRaw+48(FP)
+	VZEROUPPER
+	RET
+
+// func cpuidAsm(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidAsm(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

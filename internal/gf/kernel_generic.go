@@ -1,0 +1,10 @@
+//go:build !amd64 || !gc
+
+package gf
+
+// HasCLMUL reports whether the carryless-multiply SIMD kernel is
+// active on this machine. Non-amd64 builds always use the portable
+// table kernels.
+func HasCLMUL() bool { return false }
+
+func hornerSumBytesArch(b []byte) (horner, xor uint32, ok bool) { return 0, 0, false }

@@ -1,0 +1,166 @@
+package gf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The fast kernels must be bit-identical to the pinned scalar
+// references on every input — they are the same algebra, evaluated in
+// a different order, over exact arithmetic.
+
+func TestMulAlphaBranchlessMatchesBranchy(t *testing.T) {
+	rng := rand.New(rand.NewSource(901))
+	for _, a := range []uint32{0, 1, 2, Poly, 0x8000_0000, 0x7FFF_FFFF, 0xFFFF_FFFF} {
+		if got, want := MulAlpha(a), mulAlphaBranchy(a); got != want {
+			t.Fatalf("MulAlpha(%#x) = %#x, branchy ref %#x", a, got, want)
+		}
+	}
+	for i := 0; i < 100000; i++ {
+		a := rng.Uint32()
+		if got, want := MulAlpha(a), mulAlphaBranchy(a); got != want {
+			t.Fatalf("MulAlpha(%#x) = %#x, branchy ref %#x", a, got, want)
+		}
+		if got, want := MulAlpha(a), Mul(a, Alpha); got != want {
+			t.Fatalf("MulAlpha(%#x) = %#x, Mul ref %#x", a, got, want)
+		}
+	}
+}
+
+func TestMulTableMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(902))
+	for _, c := range []uint32{0, 1, Alpha, Poly, 0xDEADBEEF, Pow(Alpha, hornerLanes)} {
+		tab := newMulTable(c)
+		for i := 0; i < 10000; i++ {
+			x := rng.Uint32()
+			if got, want := tab.mul(x), Mul(c, x); got != want {
+				t.Fatalf("table(%#x).mul(%#x) = %#x, want %#x", c, x, got, want)
+			}
+		}
+	}
+}
+
+func TestAlphaPowTableMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(903))
+	exps := []uint64{0, 1, 2, 31, 32, 255, 256, 65535, 65536, 1 << 24,
+		Order - 1, Order, Order + 1, 1<<29 - 2, 1 << 40, 1<<64 - 1}
+	for i := 0; i < 5000; i++ {
+		exps = append(exps, rng.Uint64())
+	}
+	for _, e := range exps {
+		if got, want := AlphaPow(e), AlphaPowScalar(e); got != want {
+			t.Fatalf("AlphaPow(%d) = %#x, scalar ref %#x", e, got, want)
+		}
+	}
+}
+
+func TestHornerSlicedMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(904))
+	// Every length through several lane blocks, then a spread of
+	// larger ones: all partial-top-block shapes are exercised.
+	lens := make([]int, 0, 80)
+	for n := 0; n <= 4*hornerLanes+1; n++ {
+		lens = append(lens, n)
+	}
+	lens = append(lens, 100, 255, 256, 1000, 4096)
+	for _, n := range lens {
+		d := make([]uint32, n)
+		for i := range d {
+			d[i] = rng.Uint32()
+		}
+		want := HornerScalar(d)
+		if got := hornerSliced(d); got != want {
+			t.Fatalf("hornerSliced(len %d) = %#x, scalar ref %#x", n, got, want)
+		}
+		if got := Horner(d); got != want {
+			t.Fatalf("Horner(len %d) = %#x, scalar ref %#x", n, got, want)
+		}
+	}
+}
+
+func TestHornerSumBytesMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(905))
+	for _, n := range []int{0, 4, 8, 60, 64, 68, 124, 128, 132, 252, 256, 260,
+		1024, 4096, 16384, 65536} {
+		b := make([]byte, n)
+		rng.Read(b)
+		wantH, wantX := HornerSumBytesScalar(b)
+		gotH, gotX := HornerSumBytes(b)
+		if gotH != wantH || gotX != wantX {
+			t.Fatalf("HornerSumBytes(%d bytes) = (%#x, %#x), scalar ref (%#x, %#x)",
+				n, gotH, gotX, wantH, wantX)
+		}
+		gotH, gotX = HornerSumBytesTable(b)
+		if gotH != wantH || gotX != wantX {
+			t.Fatalf("HornerSumBytesTable(%d bytes) = (%#x, %#x), scalar ref (%#x, %#x)",
+				n, gotH, gotX, wantH, wantX)
+		}
+	}
+}
+
+// Micro-benchmarks pinning each fast kernel against its pinned scalar
+// reference. rotState feeds the MulAlpha benchmarks a value whose top
+// bit flips irregularly so the branchy version pays real mispredicts.
+
+func BenchmarkMulAlphaBranchy(b *testing.B) {
+	x := uint32(0x9E3779B9)
+	for i := 0; i < b.N; i++ {
+		x = mulAlphaBranchy(x) ^ uint32(i)
+	}
+	sinkU32 = x
+}
+
+func BenchmarkMulAlphaBranchless(b *testing.B) {
+	x := uint32(0x9E3779B9)
+	for i := 0; i < b.N; i++ {
+		x = MulAlpha(x) ^ uint32(i)
+	}
+	sinkU32 = x
+}
+
+func BenchmarkAlphaPowScalarRef(b *testing.B) {
+	var r uint32
+	for i := 0; i < b.N; i++ {
+		r ^= AlphaPowScalar(uint64(i) * 16387)
+	}
+	sinkU32 = r
+}
+
+func BenchmarkAlphaPowTable(b *testing.B) {
+	var r uint32
+	for i := 0; i < b.N; i++ {
+		r ^= AlphaPow(uint64(i) * 16387)
+	}
+	sinkU32 = r
+}
+
+func benchHornerBytes(b *testing.B, n int, f func([]byte) (uint32, uint32)) {
+	rng := rand.New(rand.NewSource(906))
+	buf := make([]byte, n)
+	rng.Read(buf)
+	b.SetBytes(int64(n))
+	b.ResetTimer()
+	var r uint32
+	for i := 0; i < b.N; i++ {
+		h, x := f(buf)
+		r ^= h ^ x
+	}
+	sinkU32 = r
+}
+
+func BenchmarkHornerBytes16KScalarRef(b *testing.B) {
+	benchHornerBytes(b, 16<<10, HornerSumBytesScalar)
+}
+
+func BenchmarkHornerBytes16KTable(b *testing.B) {
+	benchHornerBytes(b, 16<<10, HornerSumBytesTable)
+}
+
+func BenchmarkHornerBytes16KBest(b *testing.B) {
+	if HasCLMUL() {
+		b.Logf("CLMUL/AVX2 kernel active")
+	}
+	benchHornerBytes(b, 16<<10, HornerSumBytes)
+}
+
+var sinkU32 uint32

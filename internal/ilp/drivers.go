@@ -6,6 +6,7 @@ import (
 	"chunks/internal/chunk"
 	"chunks/internal/stats"
 	"chunks/internal/vr"
+	"chunks/internal/wsc"
 )
 
 // An Arrival is one data chunk at its receive time.
@@ -24,8 +25,32 @@ type Result struct {
 	// Buffer is the reassembly-buffer occupancy (zero for the
 	// immediate path, which has no reassembly buffer).
 	Buffer stats.Occupancy
+	// Parity is the incremental WSC-2 checksum of the deciphered
+	// stream, accumulated by the integrated checksum stage (see
+	// checksum). Because WSC-2 is order-independent, all three drivers
+	// produce the same parity for the same stream — and it equals
+	// wsc.EncodeBytes of the reassembled plaintext.
+	Parity wsc.Parity
 	// Out is the application buffer after the run.
 	Out []byte
+}
+
+// checksum is the integrated error-detection stage ([CLAR 90]'s point
+// applied to checksumming): it folds a chunk's deciphered payload into
+// the run's WSC-2 accumulator during the same pass that deciphers and
+// places it, while the bytes are already in cache — so it adds no bus
+// crossings and Touches is unchanged. The symbol position is the
+// chunk's connection-stream position; WSC-2's order independence is
+// what lets the immediate and reordering drivers checksum chunks in
+// raw arrival order, which a running CRC cannot do.
+func checksum(acc *wsc.Accumulator, c *chunk.Chunk, payload []byte) {
+	pos := StreamPos(c)
+	if pos%wsc.SymbolSize != 0 || len(payload)%wsc.SymbolSize != 0 {
+		return // only the symbol-aligned stream is covered
+	}
+	// The only failure mode is a position past MaxPosition (a stream
+	// beyond 2 GiB); such data is simply outside the code block.
+	_ = acc.AddBytes(pos/wsc.SymbolSize, payload)
 }
 
 // RunImmediate is the chunk receive path: each chunk is deciphered and
@@ -34,6 +59,7 @@ type Result struct {
 func RunImmediate(arrivals []Arrival, cipher Cipher, bufSize int, base uint64) *Result {
 	res := &Result{Out: make([]byte, bufSize)}
 	placer := Placer{Buf: res.Out, Base: base, Touches: &res.Touches}
+	var acc wsc.Accumulator
 	tmp := make([]byte, 0, 4096)
 	for i := range arrivals {
 		c := &arrivals[i].C
@@ -45,9 +71,11 @@ func RunImmediate(arrivals []Arrival, cipher Cipher, bufSize int, base uint64) *
 		cipher.XORKeyStreamAt(tmp, c.Payload, StreamPos(c))
 		dec := *c
 		dec.Payload = tmp
+		checksum(&acc, c, tmp)
 		placer.Place(&dec) // write to final location
 		res.Latency.Record(0)
 	}
+	res.Parity = acc.Parity()
 	return res
 }
 
@@ -58,6 +86,7 @@ func RunImmediate(arrivals []Arrival, cipher Cipher, bufSize int, base uint64) *
 func RunBuffered(arrivals []Arrival, cipher Cipher, bufSize int, base uint64) *Result {
 	res := &Result{Out: make([]byte, bufSize)}
 	placer := Placer{Buf: res.Out, Base: base, Touches: &res.Touches}
+	var acc wsc.Accumulator
 
 	type held struct {
 		c    chunk.Chunk
@@ -90,11 +119,13 @@ func RunBuffered(arrivals []Arrival, cipher Cipher, bufSize int, base uint64) *R
 		for _, h := range hs {
 			res.Touches.Move(len(h.c.Payload)) // read from buffer
 			cipher.XORKeyStreamAt(h.c.Payload, h.c.Payload, StreamPos(&h.c))
+			checksum(&acc, &h.c, h.c.Payload)
 			placer.Place(&h.c) // write to final location
 			res.Buffer.Shrink(len(h.c.Payload))
 			res.Latency.Record(a.Tick - h.tick)
 		}
 	}
+	res.Parity = acc.Parity()
 	return res
 }
 
@@ -109,6 +140,7 @@ func RunBuffered(arrivals []Arrival, cipher Cipher, bufSize int, base uint64) *R
 func RunReordering(arrivals []Arrival, cipher Cipher, bufSize int, base uint64) *Result {
 	res := &Result{Out: make([]byte, bufSize)}
 	placer := Placer{Buf: res.Out, Base: base, Touches: &res.Touches}
+	var acc wsc.Accumulator
 
 	type held struct {
 		c    chunk.Chunk
@@ -133,6 +165,7 @@ func RunReordering(arrivals []Arrival, cipher Cipher, bufSize int, base uint64) 
 		cipher.XORKeyStreamAt(tmp, c.Payload, StreamPos(c))
 		dec := *c
 		dec.Payload = tmp
+		checksum(&acc, c, tmp)
 		placer.Place(&dec) // write to final location
 		res.Latency.Record(waited)
 	}
@@ -164,5 +197,6 @@ func RunReordering(arrivals []Arrival, cipher Cipher, bufSize int, base uint64) 
 		res.Buffer.Grow(len(c.Payload))
 		pending[c.C.SN] = held{buffered, a.Tick}
 	}
+	res.Parity = acc.Parity()
 	return res
 }

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"chunks/internal/chunk"
+	"chunks/internal/wsc"
 )
 
 func TestCipherInvolution(t *testing.T) {
@@ -253,6 +254,43 @@ func TestReorderingInOrderMatchesImmediate(t *testing.T) {
 	}
 	if res.Buffer.Peak() != 0 || res.Latency.Max() != 0 {
 		t.Fatal("no disorder: no buffering, no waiting")
+	}
+}
+
+// TestIntegratedChecksumAgreesAcrossDrivers: the incremental WSC-2
+// stage produces the same parity no matter which driver ran and in
+// what order the chunks arrived — and that parity equals a one-shot
+// encode of the reassembled plaintext. This is the order-independence
+// property that lets the checksum ride the single ILP pass.
+func TestIntegratedChecksumAgreesAcrossDrivers(t *testing.T) {
+	for _, seed := range []int64{0, 31, 99} {
+		arrivals, want, cipher := arrivalsFor(t, 4, 32, 8, seed)
+		ref, err := wsc.EncodeBytes(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.Zero() {
+			t.Fatal("degenerate reference parity")
+		}
+		imm := RunImmediate(arrivals, cipher, len(want), 0)
+		buf := RunBuffered(arrivals, cipher, len(want), 0)
+		reo := RunReordering(arrivals, cipher, len(want), 0)
+		if imm.Parity != ref || buf.Parity != ref || reo.Parity != ref {
+			t.Fatalf("seed %d: parity diverged: immediate=%+v buffered=%+v reordering=%+v want %+v",
+				seed, imm.Parity, buf.Parity, reo.Parity, ref)
+		}
+	}
+}
+
+// TestIntegratedChecksumCatchesCorruption: flipping one payload bit in
+// one arriving fragment changes the accumulated parity.
+func TestIntegratedChecksumCatchesCorruption(t *testing.T) {
+	arrivals, want, cipher := arrivalsFor(t, 2, 32, 8, 99)
+	clean := RunImmediate(arrivals, cipher, len(want), 0)
+	arrivals[3].C.Payload[5] ^= 0x10
+	dirty := RunImmediate(arrivals, cipher, len(want), 0)
+	if clean.Parity == dirty.Parity {
+		t.Fatal("corrupted fragment left the parity unchanged")
 	}
 }
 

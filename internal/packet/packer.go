@@ -1,6 +1,8 @@
 package packet
 
 import (
+	"encoding/binary"
+
 	"chunks/internal/chunk"
 	"chunks/internal/telemetry"
 )
@@ -26,6 +28,16 @@ type Packer struct {
 	// Events, when set, records an EvFragmented lifecycle event for
 	// every chunk that had to be split to fit the MTU.
 	Events *telemetry.Ring
+
+	// Buffers, when set, supplies Encode's datagram buffers. The caller
+	// then owns the returned buffers and should hand them back via
+	// Buffers.Put once transmitted; the containing [][]byte slice is
+	// reused by the next Encode call, so it must be consumed before
+	// Encode runs again. A nil Buffers keeps the allocate-fresh
+	// behaviour.
+	Buffers *BufferPool
+
+	dgrams [][]byte // Encode's container scratch (Buffers mode only)
 }
 
 // budget returns the chunk-byte capacity of one packet.
@@ -75,22 +87,90 @@ func (pk *Packer) Pack(chs []chunk.Chunk) ([]Packet, error) {
 }
 
 // Encode packs and serialises in one step, returning raw datagrams.
+// It streams chunks directly into wire buffers — the packing decisions
+// are identical to Pack followed by AppendTo, but no intermediate
+// Packet slices are built, and with Buffers set a steady encode →
+// transmit → Buffers.Put cycle allocates nothing.
 func (pk *Packer) Encode(chs []chunk.Chunk) ([][]byte, error) {
-	pkts, err := pk.Pack(chs)
-	if err != nil {
-		return nil, err
+	budget := pk.budget()
+	if budget <= chunk.HeaderSize {
+		return nil, ErrTinyMTU
 	}
-	out := make([][]byte, len(pkts))
-	pad := 0
-	if pk.Pad {
-		pad = pk.MTU
+	var out [][]byte
+	if pk.Buffers != nil {
+		out = pk.dgrams[:0]
 	}
-	for i := range pkts {
-		b, err := pkts[i].AppendTo(nil, pad)
+	var cur []byte
+	used := 0
+
+	flush := func() error {
+		if used == 0 {
+			return nil
+		}
+		total := len(cur)
+		if pk.Pad {
+			if total > pk.MTU {
+				return ErrOversize
+			}
+			total = pk.MTU
+			if len(cur) < total {
+				term := chunk.Terminator()
+				cur = term.AppendTo(cur)
+			}
+			for len(cur) < total {
+				cur = append(cur, 0)
+			}
+		}
+		if total > MaxSize {
+			return ErrBadLength
+		}
+		binary.BigEndian.PutUint16(cur[2:4], uint16(total))
+		pk.Fill.Observe(int64(used * 100 / budget))
+		out = append(out, cur)
+		cur, used = nil, 0
+		return nil
+	}
+	place := func(pc *chunk.Chunk) error {
+		n := pc.EncodedLen()
+		if used+n > budget {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+		if cur == nil {
+			cur = append(pk.Buffers.Get(pk.MTU), Magic, Version, 0, 0)
+		}
+		cur = pc.AppendTo(cur)
+		used += n
+		return nil
+	}
+
+	for i := range chs {
+		if chs[i].EncodedLen() <= budget && !chs[i].IsTerminator() {
+			if err := place(&chs[i]); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		pieces, err := chs[i].SplitToFit(budget)
 		if err != nil {
 			return nil, err
 		}
-		out[i] = b
+		if len(pieces) > 1 {
+			c := &chs[i]
+			pk.Events.Record(telemetry.EvFragmented, c.C.ID, c.T.ID, c.T.SN, int64(len(pieces)))
+		}
+		for j := range pieces {
+			if err := place(&pieces[j]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	if pk.Buffers != nil {
+		pk.dgrams = out[:0]
 	}
 	return out, nil
 }

@@ -130,6 +130,7 @@ func NewReceiver(cfg ReceiverConfig, out func([]byte)) (*Receiver, error) {
 	if err != nil {
 		return nil, err
 	}
+	ed.SetTelemetry(cfg.Tel)
 	return &Receiver{
 		cfg:       cfg,
 		out:       out,

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"chunks/internal/chunk"
@@ -103,9 +104,15 @@ var (
 	ErrPeerDead = errors.New("transport: peer dead (max retries exceeded)")
 )
 
-// tpduRec is the sender-side state of one in-flight TPDU.
+// tpduRec is the sender-side state of one in-flight TPDU. Records are
+// recycled through recPool once acknowledged: the chunks slice, the
+// payload copy they alias and the ED scratch buffer all keep their
+// capacity across TPDUs, so the steady-state send path allocates
+// nothing per TPDU.
 type tpduRec struct {
 	chunks   []chunk.Chunk // pre-fragmentation chunks (identifiers reused verbatim on retransmission)
+	payload  []byte        // backing store the chunk payloads alias
+	edbuf    []byte        // backing store of ed.Payload
 	ed       chunk.Chunk
 	lastSent int // Poll round of last (re)transmission (legacy path)
 
@@ -114,6 +121,16 @@ type tpduRec struct {
 	rto           time.Duration // current per-TPDU timeout (doubles on backoff)
 	retries       int           // timer-driven retransmissions so far
 	retransmitted bool          // Karn's rule: suppress RTT samples
+}
+
+var recPool = sync.Pool{New: func() any { return new(tpduRec) }}
+
+// getRec returns a recycled record with buffers emptied but capacity
+// retained, and all bookkeeping zeroed.
+func getRec() *tpduRec {
+	rec := recPool.Get().(*tpduRec)
+	*rec = tpduRec{chunks: rec.chunks[:0], payload: rec.payload[:0], edbuf: rec.edbuf[:0]}
+	return rec
 }
 
 // A RetransmitEvent records one timer-driven retransmission on the
@@ -145,6 +162,11 @@ type Sender struct {
 	round      int
 
 	unacked map[uint32]*tpduRec
+
+	// sendScratch is the reusable chunk slice handed to emit; it is
+	// only alive during one emit call (pack.Encode copies the chunk
+	// encodings into wire buffers before returning).
+	sendScratch []chunk.Chunk
 
 	initialTPDUElems int
 	cleanAcks        int // consecutive ACKs since the last retransmission
@@ -211,9 +233,10 @@ func NewSender(cfg SenderConfig, out func([]byte)) *Sender {
 		cfg: cfg,
 		out: out,
 		pack: packet.Packer{
-			MTU:    cfg.MTU,
-			Fill:   cfg.Tel.Histogram("envelope_fill_pct"),
-			Events: cfg.Tel.Ring,
+			MTU:     cfg.MTU,
+			Fill:    cfg.Tel.Histogram("envelope_fill_pct"),
+			Events:  cfg.Tel.Ring,
+			Buffers: new(packet.BufferPool),
 		},
 		curXID:           1,
 		unacked:          make(map[uint32]*tpduRec),
@@ -307,10 +330,12 @@ func (s *Sender) cutTPDU(n int) error {
 	es := int(s.cfg.ElemSize)
 	start := s.bufStart
 	end := start + uint64(n)
-	payload := s.buf[:n*es]
 
 	tid := uint32(start) // implicit-friendly T.ID (Figure 7)
-	var chs []chunk.Chunk
+	rec := getRec()
+	// One copy of the TPDU bytes into the record's recycled backing
+	// store; the chunk payloads are subslices of it.
+	rec.payload = append(rec.payload, s.buf[:n*es]...)
 	cur := start
 	for cur < end {
 		// Cut at the next frame boundary inside (cur, end].
@@ -329,9 +354,9 @@ func (s *Sender) cutTPDU(n int) error {
 			C:       chunk.Tuple{ID: s.cfg.CID, SN: cur},
 			T:       chunk.Tuple{ID: tid, SN: cur - start, ST: segEnd == end},
 			X:       chunk.Tuple{ID: s.curXID, SN: cur - s.frameStart, ST: xst},
-			Payload: append([]byte(nil), payload[lo:hi]...),
+			Payload: rec.payload[lo:hi:hi],
 		}
-		chs = append(chs, c)
+		rec.chunks = append(rec.chunks, c)
 		if xst {
 			s.curXID++
 			s.frameStart = segEnd
@@ -347,17 +372,22 @@ func (s *Sender) cutTPDU(n int) error {
 	}
 	s.frameCuts = rest
 
-	par, err := errdet.Encode(s.cfg.Layout, chs)
+	par, err := errdet.Encode(s.cfg.Layout, rec.chunks)
 	if err != nil {
+		recPool.Put(rec)
 		return fmt.Errorf("transport: encode TPDU %d: %w", tid, err)
 	}
-	ed := errdet.EDChunk(s.cfg.CID, tid, start, par)
+	rec.ed = errdet.EDChunkAppend(s.cfg.CID, tid, start, par, rec.edbuf)
+	rec.edbuf = rec.ed.Payload
 
-	s.unacked[tid] = &tpduRec{
-		chunks: chs, ed: ed, lastSent: s.round,
-		sentAt: s.now, rto: s.currentRTO(),
-	}
-	s.buf = s.buf[n*es:]
+	rec.lastSent = s.round
+	rec.sentAt = s.now
+	rec.rto = s.currentRTO()
+	s.unacked[tid] = rec
+	// Compact instead of re-slicing so the buffer's capacity keeps
+	// being reused and Write's append stays allocation-free once the
+	// high-water mark is reached.
+	s.buf = s.buf[:copy(s.buf, s.buf[n*es:])]
 	s.bufStart = end
 	s.csn = end
 	s.TPDUsSent++
@@ -366,7 +396,15 @@ func (s *Sender) cutTPDU(n int) error {
 	s.tel.elems.Observe(int64(n))
 	s.tel.ring.Record(telemetry.EvSent, s.cfg.CID, tid, start, int64(n*es))
 
-	return s.emit(append(append([]chunk.Chunk{}, chs...), ed))
+	return s.emit(s.withED(rec.chunks, rec.ed))
+}
+
+// withED assembles chunks + the ED chunk in the reusable send scratch.
+// The slice is valid until the next withED or retransmit call; emit
+// consumes it before returning.
+func (s *Sender) withED(chs []chunk.Chunk, ed chunk.Chunk) []chunk.Chunk {
+	s.sendScratch = append(append(s.sendScratch[:0], chs...), ed)
+	return s.sendScratch
 }
 
 // emit packs chunks into datagrams and sends them.
@@ -410,6 +448,7 @@ func (s *Sender) HandleControlAt(c *chunk.Chunk, now time.Duration) error {
 			}
 			s.tel.retries.Observe(int64(rec.retries))
 			delete(s.unacked, tid)
+			recPool.Put(rec)
 			s.AcksSeen++
 			s.tel.acks.Inc()
 			s.grow()
@@ -439,7 +478,7 @@ func (s *Sender) retransmit(tid uint32, missing []vr.Interval) error {
 	s.tel.retransmit.Inc()
 	s.tel.ring.Record(telemetry.EvRetransmit, s.cfg.CID, tid, rec.chunks[0].C.SN, int64(len(missing)))
 	s.adapt()
-	var out []chunk.Chunk
+	out := s.sendScratch[:0]
 	for _, iv := range missing {
 		for i := range rec.chunks {
 			if sub, ok := subChunk(&rec.chunks[i], iv); ok {
@@ -448,6 +487,7 @@ func (s *Sender) retransmit(tid uint32, missing []vr.Interval) error {
 		}
 	}
 	out = append(out, rec.ed)
+	s.sendScratch = out
 	rec.lastSent = s.round
 	// A NACK proves the peer is alive and requesting: defer the
 	// retransmission timer but neither back off nor count a retry
@@ -540,7 +580,7 @@ func (s *Sender) Poll() error {
 			s.tel.ring.Record(telemetry.EvRetransmit, s.cfg.CID, tid, rec.chunks[0].C.SN, 0)
 			s.adapt()
 			rec.lastSent = s.round
-			if err := s.emit(append(append([]chunk.Chunk{}, rec.chunks...), rec.ed)); err != nil {
+			if err := s.emit(s.withED(rec.chunks, rec.ed)); err != nil {
 				return err
 			}
 		}
@@ -675,12 +715,18 @@ func (s *Sender) PollAt(now time.Duration) error {
 		s.Retransmits++
 		s.tel.retransmit.Inc()
 		s.adapt()
-		if err := s.emit(append(append([]chunk.Chunk{}, rec.chunks...), rec.ed)); err != nil {
+		if err := s.emit(s.withED(rec.chunks, rec.ed)); err != nil {
 			return err
 		}
 	}
 	return nil
 }
+
+// Recycle hands a transmitted datagram's buffer back for reuse by a
+// later send. It is strictly opt-in: a consumer that retains datagrams
+// (the Pump does) simply never calls it and the sender allocates fresh
+// buffers as before. Callers must not touch d after recycling it.
+func (s *Sender) Recycle(d []byte) { s.pack.Buffers.Put(d) }
 
 // Unacked returns the number of TPDUs awaiting acknowledgment.
 func (s *Sender) Unacked() int { return len(s.unacked) }

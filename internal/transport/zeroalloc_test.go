@@ -1,0 +1,81 @@
+package transport
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"chunks/internal/chunk"
+)
+
+// newSteadySender builds a sender whose datagram consumer recycles
+// every buffer immediately (the zero-alloc contract's opt-in side),
+// plus a step function driving one full TPDU through the send path:
+// write one TPDU's worth of elements, then acknowledge the TPDU the
+// write cut. After warmup every step reuses pooled records, payload
+// stores, the emit scratch and pooled datagram buffers.
+func newSteadySender(tb testing.TB) (s *Sender, step func()) {
+	tb.Helper()
+	s = NewSender(SenderConfig{CID: 7, MTU: 1400, ElemSize: 4, TPDUElems: 256}, nil)
+	s.out = func(d []byte) { s.Recycle(d) }
+
+	payload := make([]byte, 256*4)
+	for i := range payload {
+		payload[i] = byte(i * 131)
+	}
+	ackPayload := make([]byte, 4)
+	ack := chunk.Chunk{
+		Type: chunk.TypeAck, Size: 4, Len: 1,
+		C: chunk.Tuple{ID: 7}, Payload: ackPayload,
+	}
+	step = func() {
+		// Write keeps one TPDU buffered (lazy cut), so the TPDU this
+		// write cuts starts at the current bufStart.
+		tid := uint32(s.bufStart)
+		if err := s.Write(payload); err != nil {
+			tb.Fatal(err)
+		}
+		binary.BigEndian.PutUint32(ackPayload, tid)
+		ack.T.ID = tid
+		if err := s.HandleControl(&ack); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return s, step
+}
+
+// TestSteadyStateSendZeroAlloc pins the per-TPDU allocation count of
+// the steady-state send path — write, cut, checksum, envelope,
+// transmit, acknowledge — at zero once the pools are primed.
+func TestSteadyStateSendZeroAlloc(t *testing.T) {
+	s, step := newSteadySender(t)
+	for i := 0; i < 64; i++ { // prime buffers, pools and the unacked map
+		step()
+	}
+	before := s.TPDUsSent
+	allocs := testing.AllocsPerRun(100, step)
+	if allocs != 0 {
+		t.Errorf("steady-state send path allocates %.1f objects per TPDU, want 0", allocs)
+	}
+	if s.TPDUsSent == before {
+		t.Fatal("measurement loop cut no TPDUs — the harness is broken")
+	}
+	if s.Unacked() > 1 {
+		t.Fatalf("unacked backlog grew to %d; acks are not being consumed", s.Unacked())
+	}
+}
+
+// BenchmarkSteadyStateSend reports the allocation profile and cost of
+// one full TPDU round trip through the send path.
+func BenchmarkSteadyStateSend(b *testing.B) {
+	s, step := newSteadySender(b)
+	for i := 0; i < 64; i++ {
+		step()
+	}
+	b.SetBytes(256 * 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+	_ = s
+}
