@@ -1,0 +1,96 @@
+// Command chunklint runs the repository's stdlib-only analyzer suite
+// (internal/lint) over the module and exits non-zero on findings.
+//
+//	chunklint [-json] [-C dir] [check ...]
+//
+// With check names as arguments only those checks run (plus directive
+// hygiene); by default the whole suite runs. -C selects the module
+// root (default: the module containing the working directory).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"chunks/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	chdir := flag.String("C", "", "module root to analyze (default: enclosing module)")
+	flag.Parse()
+
+	root := *chdir
+	if root == "" {
+		var err error
+		root, err = findModuleRoot()
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	checks := lint.AllChecks()
+	if args := flag.Args(); len(args) > 0 {
+		byName := map[string]lint.Check{}
+		for _, c := range checks {
+			byName[c.Name()] = c
+		}
+		checks = checks[:0]
+		for _, name := range args {
+			c, ok := byName[name]
+			if !ok {
+				fatal(fmt.Errorf("unknown check %q", name))
+			}
+			checks = append(checks, c)
+		}
+	}
+
+	m, err := lint.Load(root)
+	if err != nil {
+		fatal(err)
+	}
+	diags := lint.Run(m, checks)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(os.Stderr, "chunklint: %d finding(s)\n", len(diags))
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("chunklint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "chunklint:", err)
+	os.Exit(2)
+}

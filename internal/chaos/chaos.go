@@ -21,6 +21,7 @@ package chaos
 import (
 	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -84,6 +85,11 @@ type Config struct {
 	// live registry snapshot shows what the relay inflicted alongside
 	// the endpoints' own metrics.
 	Telemetry *telemetry.Registry
+	// Clock, when set, supplies the elapsed-since-start reading the
+	// blackhole schedule is evaluated against, so tests can drive the
+	// interval with virtual time. Nil means wall clock anchored at
+	// NewRelay.
+	Clock func() time.Duration
 }
 
 // Corrupt flips 1..max random bytes of b in place (max<=0 means 3),
@@ -139,16 +145,16 @@ type pipe struct {
 	mu       sync.Mutex
 	sched    Schedule
 	rng      *rand.Rand
-	start    time.Time
-	burst    int // remaining datagrams of the current loss burst
+	now      func() time.Duration // elapsed since relay start (injectable)
+	burst    int                  // remaining datagrams of the current loss burst
 	window   []held
 	seq      int
 	counters Counters
 	tel      pipeTel
 }
 
-func newPipe(sched Schedule, seed int64, start time.Time, sink telemetry.Sink) *pipe {
-	return &pipe{sched: sched, rng: rand.New(rand.NewSource(seed)), start: start, tel: newPipeTel(sink)}
+func newPipe(sched Schedule, seed int64, now func() time.Duration, sink telemetry.Sink) *pipe {
+	return &pipe{sched: sched, rng: rand.New(rand.NewSource(seed)), now: now, tel: newPipeTel(sink)}
 }
 
 // offer pushes one datagram through the fault schedule. send delivers
@@ -159,7 +165,7 @@ func (p *pipe) offer(data []byte, send, spoofSend func([]byte)) {
 	defer p.mu.Unlock()
 
 	if p.sched.BlackholeFor > 0 {
-		elapsed := time.Since(p.start)
+		elapsed := p.now()
 		if elapsed >= p.sched.BlackholeAfter && elapsed < p.sched.BlackholeAfter+p.sched.BlackholeFor {
 			p.counters.Blackholed++
 			p.tel.blackholed.Inc()
@@ -293,13 +299,19 @@ func NewRelay(target string, cfg Config) (*Relay, error) {
 	if cfg.FlushEvery == 0 {
 		cfg.FlushEvery = 2 * time.Millisecond
 	}
-	start := time.Now()
+	now := cfg.Clock
+	if now == nil {
+		start := time.Now() //lint:allow detrand default blackhole clock on the real-socket path; tests inject Config.Clock
+		now = func() time.Duration {
+			return time.Since(start) //lint:allow detrand default blackhole clock on the real-socket path; tests inject Config.Clock
+		}
+	}
 	r := &Relay{
 		cfg:      cfg,
 		front:    front,
 		target:   taddr,
-		up:       newPipe(cfg.Up, cfg.Seed*2+1, start, cfg.Telemetry.Sink("chaos.up")),
-		down:     newPipe(cfg.Down, cfg.Seed*2+2, start, cfg.Telemetry.Sink("chaos.down")),
+		up:       newPipe(cfg.Up, cfg.Seed*2+1, now, cfg.Telemetry.Sink("chaos.up")),
+		down:     newPipe(cfg.Down, cfg.Seed*2+2, now, cfg.Telemetry.Sink("chaos.down")),
 		sessions: make(map[string]*session),
 		done:     make(chan struct{}),
 	}
@@ -326,6 +338,7 @@ func (r *Relay) BackAddrs() []net.Addr {
 	for _, s := range r.sessions {
 		out = append(out, s.back.LocalAddr())
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
 	return out
 }
 
@@ -379,7 +392,7 @@ func (r *Relay) frontLoop() {
 	defer r.wg.Done()
 	buf := make([]byte, 65536)
 	for {
-		_ = r.front.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		_ = r.front.SetReadDeadline(time.Now().Add(50 * time.Millisecond)) //lint:allow detrand socket read deadline: I/O pacing, not protocol state
 		n, from, err := r.front.ReadFromUDP(buf)
 		if err != nil {
 			select {
@@ -406,7 +419,7 @@ func (r *Relay) backLoop(s *session) {
 	defer r.wg.Done()
 	buf := make([]byte, 65536)
 	for {
-		_ = s.back.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		_ = s.back.SetReadDeadline(time.Now().Add(50 * time.Millisecond)) //lint:allow detrand socket read deadline: I/O pacing, not protocol state
 		n, err := s.back.Read(buf)
 		if err != nil {
 			select {

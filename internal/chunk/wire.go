@@ -40,6 +40,21 @@ const (
 	flagXST = 1 << 2
 )
 
+// Field offsets of the fixed header, per the table above. Each field
+// runs to the next offset; the last ends at HeaderSize.
+const (
+	offType  = 0
+	offFlags = 1
+	offSize  = 2
+	offLen   = 4
+	offCID   = 8
+	offCSN   = 12
+	offTID   = 20
+	offTSN   = 24
+	offXID   = 32
+	offXSN   = 36
+)
+
 // Wire decoding errors.
 var (
 	ErrShortBuffer = errors.New("chunk: buffer too short")
@@ -90,37 +105,37 @@ func (c *Chunk) DecodeFromBytes(b []byte) (int, error) {
 	if len(b) < 1 {
 		return 0, ErrShortBuffer
 	}
-	if b[0] == 0 { // terminator: TYPE 0 is otherwise invalid
+	if b[offType] == 0 { // terminator: TYPE 0 is otherwise invalid
 		*c = Terminator()
 		return TerminatorSize, nil
 	}
 	if len(b) < HeaderSize {
 		return 0, ErrShortBuffer
 	}
-	typ := Type(b[0])
+	typ := Type(b[offType])
 	if !typ.Valid() {
 		return 0, ErrBadType
 	}
-	flags := b[1]
+	flags := b[offFlags]
 	if flags&^(flagCST|flagTST|flagXST) != 0 {
 		return 0, ErrBadFlags
 	}
 	c.Type = typ
-	c.Size = binary.BigEndian.Uint16(b[2:4])
-	c.Len = binary.BigEndian.Uint32(b[4:8])
+	c.Size = binary.BigEndian.Uint16(b[offSize:offLen])
+	c.Len = binary.BigEndian.Uint32(b[offLen:offCID])
 	c.C = Tuple{
-		ID: binary.BigEndian.Uint32(b[8:12]),
-		SN: binary.BigEndian.Uint64(b[12:20]),
+		ID: binary.BigEndian.Uint32(b[offCID:offCSN]),
+		SN: binary.BigEndian.Uint64(b[offCSN:offTID]),
 		ST: flags&flagCST != 0,
 	}
 	c.T = Tuple{
-		ID: binary.BigEndian.Uint32(b[20:24]),
-		SN: binary.BigEndian.Uint64(b[24:32]),
+		ID: binary.BigEndian.Uint32(b[offTID:offTSN]),
+		SN: binary.BigEndian.Uint64(b[offTSN:offXID]),
 		ST: flags&flagTST != 0,
 	}
 	c.X = Tuple{
-		ID: binary.BigEndian.Uint32(b[32:36]),
-		SN: binary.BigEndian.Uint64(b[36:44]),
+		ID: binary.BigEndian.Uint32(b[offXID:offXSN]),
+		SN: binary.BigEndian.Uint64(b[offXSN:HeaderSize]),
 		ST: flags&flagXST != 0,
 	}
 	if c.Size == 0 {

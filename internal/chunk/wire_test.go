@@ -5,6 +5,20 @@ import (
 	"testing/quick"
 )
 
+// TestWireConstantsPinned pins the wire-visible limits: changing any
+// of these changes what peers accept on the wire.
+func TestWireConstantsPinned(t *testing.T) {
+	if HeaderSize != 44 {
+		t.Errorf("HeaderSize = %d, want 44", HeaderSize)
+	}
+	if TerminatorSize != 1 {
+		t.Errorf("TerminatorSize = %d, want 1", TerminatorSize)
+	}
+	if MaxPayload != 1<<24 {
+		t.Errorf("MaxPayload = %d, want %d", MaxPayload, 1<<24)
+	}
+}
+
 func TestWireRoundTrip(t *testing.T) {
 	c := sampleChunk()
 	b := c.AppendTo(nil)

@@ -175,7 +175,7 @@ func Dial(addr string, cfg Config) (*Conn, error) {
 	sink := cfg.Telemetry.Sink(fmt.Sprintf("conn.%d", cfg.CID))
 	c := &Conn{
 		sock: sock, window: cfg.Window, done: make(chan struct{}),
-		epoch: time.Now(), onPeerDead: cfg.OnPeerDead,
+		epoch: time.Now(), onPeerDead: cfg.OnPeerDead, //lint:allow detrand connection epoch: the one sanctioned wall-clock anchor; all RTT math is relative to it
 		telStalls:  sink.Counter("window_stalls"),
 		telUnacked: sink.Gauge("tpdus_unacked"),
 	}
@@ -197,7 +197,7 @@ func Dial(addr string, cfg Config) (*Conn, error) {
 		defer c.wg.Done()
 		buf := make([]byte, 65536)
 		for {
-			_ = sock.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+			_ = sock.SetReadDeadline(time.Now().Add(50 * time.Millisecond)) //lint:allow detrand socket read deadline: I/O pacing, not protocol state
 			n, err := sock.Read(buf)
 			if err != nil {
 				select {
@@ -222,7 +222,7 @@ func Dial(addr string, cfg Config) (*Conn, error) {
 				return
 			case <-tick.C:
 				c.mu.Lock()
-				err := c.s.PollAt(time.Since(c.epoch))
+				err := c.s.PollAt(time.Since(c.epoch)) //lint:allow detrand real-socket RTT measurement; tests drive PollAt with virtual time
 				if errors.Is(err, transport.ErrPeerDead) && c.dead == nil {
 					c.dead = ErrPeerDead
 					c.cond.Broadcast()
@@ -251,7 +251,7 @@ func (c *Conn) handleControl(datagram []byte) {
 	if err != nil {
 		return
 	}
-	now := time.Since(c.epoch)
+	now := time.Since(c.epoch) //lint:allow detrand real-socket RTT measurement; tests drive HandleControlAt with virtual time
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for i := range chs {
@@ -356,8 +356,8 @@ func (c *Conn) RetransmitTimeline() []transport.RetransmitEvent {
 // returns ErrPeerDead immediately; on an already shut-down connection
 // that never drained it returns ErrShutdown without waiting.
 func (c *Conn) WaitDrained(timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
+	deadline := time.Now().Add(timeout) //lint:allow detrand test/CLI convenience wait; bounds wall time, not protocol behavior
+	for time.Now().Before(deadline) { //lint:allow detrand test/CLI convenience wait; bounds wall time, not protocol behavior
 		ok, shut, dead := c.drained()
 		if dead != nil {
 			c.Shutdown()

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -146,7 +147,7 @@ func (s *Server) readLoop() {
 	defer s.wg.Done()
 	buf := make([]byte, 65536)
 	for {
-		_ = s.sock.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		_ = s.sock.SetReadDeadline(time.Now().Add(50 * time.Millisecond)) //lint:allow detrand socket read deadline: I/O pacing, not protocol state
 		n, from, err := s.sock.ReadFromUDP(buf)
 		if err != nil {
 			select {
@@ -160,7 +161,7 @@ func (s *Server) readLoop() {
 		if err != nil {
 			continue // not a chunk packet; ignore
 		}
-		now := time.Now()
+		now := time.Now() //lint:allow detrand lastActive stamp feeds wall-clock idle expiry only
 		s.telDatagrams.Inc()
 		s.mu.Lock()
 		// Route each chunk to the (C.ID, source) connection. Packets
@@ -196,9 +197,24 @@ func (s *Server) pollLoop() {
 				peer net.Addr
 			}
 			var expired []expiredConn
-			now := time.Now()
+			now := time.Now() //lint:allow detrand idle expiry is wall-clock by definition on the real-socket path
 			s.mu.Lock()
-			for key, c := range s.conns {
+			// Poll and expire in sorted key order: poll order decides
+			// the sequence of emitted datagrams across connections, and
+			// expiry order the OnConnExpired callback sequence — map
+			// order would make both differ run to run.
+			keys := make([]connKey, 0, len(s.conns))
+			for key := range s.conns {
+				keys = append(keys, key)
+			}
+			sort.Slice(keys, func(i, j int) bool {
+				if keys[i].cid != keys[j].cid {
+					return keys[i].cid < keys[j].cid
+				}
+				return keys[i].addr < keys[j].addr
+			})
+			for _, key := range keys {
+				c := s.conns[key]
 				if s.cfg.IdleTimeout > 0 && now.Sub(c.lastActive) > s.cfg.IdleTimeout {
 					delete(s.conns, key)
 					s.expired++
@@ -224,8 +240,11 @@ func (s *Server) pollLoop() {
 // Called with s.mu held.
 func (s *Server) primary() *serverConn {
 	var best *serverConn
-	for _, c := range s.conns {
-		if best == nil || c.established < best.established {
+	// Min-reduction with a total order (established, then cid): the
+	// result is independent of map iteration order even on ties.
+	for _, c := range s.conns { //lint:allow maprange min-reduction over a total order; result is iteration-order independent
+		if best == nil || c.established < best.established ||
+			(c.established == best.established && c.cid < best.cid) {
 			best = c
 		}
 	}
@@ -319,8 +338,8 @@ func (s *Server) Reaped() int {
 // WaitClosed blocks until the close signal arrives and the primary
 // stream has n bytes, or the timeout elapses.
 func (s *Server) WaitClosed(n int, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
+	deadline := time.Now().Add(timeout) //lint:allow detrand test/CLI convenience wait; bounds wall time, not protocol behavior
+	for time.Now().Before(deadline) { //lint:allow detrand test/CLI convenience wait; bounds wall time, not protocol behavior
 		s.mu.Lock()
 		c := s.primary()
 		ok := c != nil && c.r.Closed() && len(c.r.Stream()) >= n

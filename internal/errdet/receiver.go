@@ -2,6 +2,7 @@ package errdet
 
 import (
 	"fmt"
+	"sort"
 
 	"chunks/internal/chunk"
 	"chunks/internal/telemetry"
@@ -357,7 +358,16 @@ func (r *Receiver) Missing(tid uint32) []vr.Interval {
 // It returns the final verdict per TPDU.
 func (r *Receiver) Finalize() map[uint32]Verdict {
 	out := make(map[uint32]Verdict, len(r.tpdus))
-	for tid, t := range r.tpdus {
+	// Walk TPDUs in sorted order: the findings appended below are part
+	// of the receiver's observable output, and map order would make
+	// their sequence differ run to run (determinism invariant).
+	tids := make([]uint32, 0, len(r.tpdus))
+	for tid := range r.tpdus {
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	for _, tid := range tids {
+		t := r.tpdus[tid]
 		if !t.finalized {
 			t.finalized = true
 			t.verdict = VerdictReassembly
@@ -372,7 +382,14 @@ func (r *Receiver) Finalize() map[uint32]Verdict {
 	}
 	// External PDUs with gaps (or a known end not reached) are
 	// reassembly failures too: the ALF frame never becomes ready.
-	for xid, x := range r.xs {
+	// Sorted for the same reason as the TPDU walk above.
+	xids := make([]uint32, 0, len(r.xs))
+	for xid := range r.xs {
+		xids = append(xids, xid)
+	}
+	sort.Slice(xids, func(i, j int) bool { return xids[i] < xids[j] })
+	for _, xid := range xids {
+		x := r.xs[xid]
 		if end, ok := x.pdu.End(); ok && !x.pdu.Complete() {
 			r.findings = append(r.findings, Finding{
 				Class: VerdictReassembly,

@@ -327,7 +327,7 @@ func classify(verdicts map[uint32]errdet.Verdict, findings []errdet.Finding) err
 				return true
 			}
 		}
-		for _, fv := range verdicts {
+		for _, fv := range verdicts { //lint:allow maprange existence scan; any iteration order yields the same boolean
 			if fv == v {
 				return true
 			}

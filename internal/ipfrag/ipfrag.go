@@ -220,7 +220,7 @@ func (r *Reassembler) Add(f Fragment) ([]byte, error) {
 func (r *Reassembler) Evict() (uint32, bool) {
 	var victim uint32
 	found := false
-	for id := range r.pend {
+	for id := range r.pend { //lint:allow maprange min-reduction over unique keys; result is iteration-order independent
 		if !found || id < victim {
 			victim, found = id, true
 		}

@@ -1,0 +1,219 @@
+// Package lint is a stdlib-only analyzer suite (go/parser + go/ast +
+// go/types; no x/tools) that mechanically enforces the repository's
+// determinism, wire-pinning and telemetry invariants — the properties
+// the compiler cannot see but the paper's chunk semantics depend on:
+// order-independent, bit-reproducible protocol processing.
+//
+// Checks:
+//
+//   - detrand: unseeded math/rand top-level functions anywhere, and
+//     time.Now/time.Since inside internal/ logic packages.
+//   - maprange: iteration over a map whose order can leak into
+//     protocol or output behavior (the PR 2 sorted-scan bug class).
+//   - wirepin: magic integer offsets into []byte wire buffers in the
+//     chunk/packet/compress codecs, and exported wire constants not
+//     referenced by any pinned test.
+//   - nilnoop: exported methods on telemetry instrument pointer types
+//     must begin with a nil-receiver guard (telemetry-off-is-free).
+//   - poolsafe: sync.Pool-derived values must not escape the function
+//     that drew them (returns or stores into longer-lived structures).
+//
+// A finding at a site that is genuinely legitimate is suppressed with
+// an inline directive on the same line or the line above:
+//
+//	//lint:allow <check> <reason>
+//
+// The reason is mandatory, and a directive that stops matching any
+// finding is itself reported, so suppressions cannot go stale.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// A Diagnostic is one finding, positioned for editors (file:line:col).
+type Diagnostic struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Check, d.Message)
+}
+
+// A Check inspects a loaded module and reports findings. Checks see
+// the whole module so cross-package passes (wirepin's constant
+// pinning) need no special casing.
+type Check interface {
+	Name() string
+	Doc() string
+	Run(m *Module, report func(pos token.Pos, format string, args ...any))
+}
+
+// AllChecks returns the full suite with repository-default scoping.
+func AllChecks() []Check {
+	return []Check{
+		NewDetrand(),
+		NewMaprange(),
+		NewWirepin(),
+		NewNilnoop(),
+		NewPoolsafe(),
+	}
+}
+
+// Run executes the checks over the module, applies //lint:allow
+// suppressions, and returns the surviving diagnostics sorted by
+// position. Malformed (reason-less) and unused allow directives for
+// the executed checks are reported as check "lint".
+func Run(m *Module, checks []Check) []Diagnostic {
+	dirs := collectDirectives(m)
+	ran := map[string]bool{"lint": true}
+
+	var diags []Diagnostic
+	for _, c := range checks {
+		c := c
+		ran[c.Name()] = true
+		report := func(pos token.Pos, format string, args ...any) {
+			p := m.Fset.Position(pos)
+			diags = append(diags, Diagnostic{
+				Check: c.Name(), File: relFile(m, p.Filename),
+				Line: p.Line, Col: p.Column,
+				Message: fmt.Sprintf(format, args...),
+			})
+		}
+		c.Run(m, report)
+	}
+
+	kept := diags[:0]
+	for _, d := range diags {
+		if dir := dirs.match(d.File, d.Line, d.Check); dir != nil {
+			dir.used = true
+			continue
+		}
+		kept = append(kept, d)
+	}
+	diags = kept
+
+	for _, dir := range dirs.all {
+		if !ran[dir.check] {
+			continue // a subset run cannot judge other checks' allows
+		}
+		switch {
+		case dir.reason == "":
+			diags = append(diags, Diagnostic{
+				Check: "lint", File: dir.file, Line: dir.line, Col: dir.col,
+				Message: fmt.Sprintf("//lint:allow %s is missing its reason string", dir.check),
+			})
+		case !dir.used:
+			diags = append(diags, Diagnostic{
+				Check: "lint", File: dir.file, Line: dir.line, Col: dir.col,
+				Message: fmt.Sprintf("unused //lint:allow %s directive (no matching finding)", dir.check),
+			})
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+	return diags
+}
+
+func relFile(m *Module, name string) string {
+	if rel, err := filepath.Rel(m.Dir, name); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return name
+}
+
+// directive is one parsed //lint:allow comment.
+type directive struct {
+	file   string
+	line   int
+	col    int
+	check  string
+	reason string
+	used   bool
+}
+
+type directiveSet struct {
+	all   []*directive
+	index map[string]map[int][]*directive // file -> line -> directives
+}
+
+// match finds an allow for check covering line (the directive's own
+// line for trailing comments, or the line above the flagged one).
+func (ds *directiveSet) match(file string, line int, check string) *directive {
+	for _, l := range [2]int{line, line - 1} {
+		for _, d := range ds.index[file][l] {
+			if d.check == check {
+				return d
+			}
+		}
+	}
+	return nil
+}
+
+var allowRE = regexp.MustCompile(`^//lint:allow\s+([A-Za-z0-9_-]+)\s*(.*)$`)
+
+func collectDirectives(m *Module) *directiveSet {
+	ds := &directiveSet{index: map[string]map[int][]*directive{}}
+	for _, p := range m.Packages {
+		for _, f := range p.AllFiles() {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					mm := allowRE.FindStringSubmatch(c.Text)
+					if mm == nil {
+						continue
+					}
+					pos := m.Fset.Position(c.Slash)
+					d := &directive{
+						file:  relFile(m, pos.Filename),
+						line:  pos.Line,
+						col:   pos.Column,
+						check: mm[1], reason: strings.TrimSpace(mm[2]),
+					}
+					ds.all = append(ds.all, d)
+					byLine := ds.index[d.file]
+					if byLine == nil {
+						byLine = map[int][]*directive{}
+						ds.index[d.file] = byLine
+					}
+					byLine[d.line] = append(byLine[d.line], d)
+				}
+			}
+		}
+	}
+	return ds
+}
+
+// infoFor returns the types.Info covering the given file of p: the
+// main unit for sources and in-package tests, the external unit for
+// package p_test files.
+func (p *Package) infoFor(f *ast.File) *types.Info {
+	for _, xf := range p.XTestFiles {
+		if xf == f {
+			return p.XInfo
+		}
+	}
+	return p.Info
+}

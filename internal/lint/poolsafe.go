@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Poolsafe tracks values drawn from a sync.Pool within each function:
+// a pooled object that is returned to the caller or stored into a
+// longer-lived structure escapes the Get/Put discipline, so a later
+// Put can hand the same object to two owners (the classic pool
+// aliasing bug). Deliberate ownership transfers — a pool-backed
+// allocator API like packet.BufferPool.Get — carry an annotated
+// //lint:allow poolsafe.
+//
+// The analysis is a conservative per-function taint pass: taint seeds
+// at `p.Get()` calls (sync.Pool receiver, including through a type
+// assertion), propagates through assignments, selectors, indexing,
+// slicing and type assertions, and stops at function calls.
+type Poolsafe struct{}
+
+// NewPoolsafe returns the check (module-wide, no configuration).
+func NewPoolsafe() *Poolsafe { return &Poolsafe{} }
+
+func (*Poolsafe) Name() string { return "poolsafe" }
+func (*Poolsafe) Doc() string {
+	return "sync.Pool values must not be returned or stored into long-lived structures"
+}
+
+func (c *Poolsafe) Run(m *Module, report func(pos token.Pos, format string, args ...any)) {
+	for _, p := range m.Packages {
+		for _, f := range p.Files {
+			info := p.infoFor(f)
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				analyzePoolFlow(info, fn, report)
+			}
+		}
+	}
+}
+
+func analyzePoolFlow(info *types.Info, fn *ast.FuncDecl, report func(pos token.Pos, format string, args ...any)) {
+	tainted := map[string]bool{}
+
+	isPoolGet := func(e ast.Expr) bool {
+		// Unwrap a type assertion: pool.Get().(*T).
+		if ta, ok := e.(*ast.TypeAssertExpr); ok {
+			e = ta.X
+		}
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Get" {
+			return false
+		}
+		t := info.TypeOf(sel.X)
+		if t == nil {
+			return false
+		}
+		if ptr, ok := t.Underlying().(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		return ok && named.Obj().Pkg() != nil &&
+			named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "Pool"
+	}
+
+	var isTainted func(e ast.Expr) bool
+	isTainted = func(e ast.Expr) bool {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return tainted[x.Name]
+		case *ast.ParenExpr:
+			return isTainted(x.X)
+		case *ast.TypeAssertExpr:
+			return isTainted(x.X)
+		case *ast.SelectorExpr:
+			return isTainted(x.X)
+		case *ast.IndexExpr:
+			return isTainted(x.X)
+		case *ast.SliceExpr:
+			return isTainted(x.X)
+		case *ast.UnaryExpr:
+			return isTainted(x.X)
+		case *ast.StarExpr:
+			return isTainted(x.X)
+		}
+		return isPoolGet(e)
+	}
+
+	rootIdent := func(e ast.Expr) *ast.Ident {
+		for {
+			switch x := e.(type) {
+			case *ast.Ident:
+				return x
+			case *ast.SelectorExpr:
+				e = x.X
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.ParenExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.SliceExpr:
+				e = x.X
+			default:
+				return nil
+			}
+		}
+	}
+
+	// Seed and propagate taint to a fixed point (bounded: the lattice
+	// only grows), then report escapes in a final pass.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) == 0 || len(as.Rhs) == 0 {
+				return true
+			}
+			// x := pool.Get() / x, ok := pool.Get().(*T) / x = tainted.
+			if len(as.Rhs) == 1 {
+				if isTainted(as.Rhs[0]) {
+					for _, lhs := range as.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" && !tainted[id.Name] {
+							tainted[id.Name] = true
+							changed = true
+						}
+					}
+				}
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				if i < len(as.Rhs) && isTainted(as.Rhs[i]) {
+					if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" && !tainted[id.Name] {
+						tainted[id.Name] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range s.Results {
+				if isTainted(res) {
+					report(res.Pos(), "sync.Pool-derived value %s escapes via return; transfer ownership explicitly or annotate //lint:allow poolsafe <reason>",
+						exprString(res))
+				}
+			}
+		case *ast.AssignStmt:
+			if s.Tok != token.ASSIGN {
+				return true
+			}
+			for i, lhs := range s.Lhs {
+				var rhs ast.Expr
+				if len(s.Rhs) == 1 {
+					rhs = s.Rhs[0]
+				} else if i < len(s.Rhs) {
+					rhs = s.Rhs[i]
+				}
+				if rhs == nil || !isTainted(rhs) {
+					continue
+				}
+				switch lhs.(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					// Storing INTO a pooled object is the recycling
+					// pattern; storing a pooled object into something
+					// else is the escape.
+					if root := rootIdent(lhs); root != nil && tainted[root.Name] {
+						continue
+					}
+					report(lhs.Pos(), "sync.Pool-derived value %s stored into longer-lived %s; pooled objects must stay function-local or be annotated //lint:allow poolsafe <reason>",
+						exprString(rhs), exprString(lhs))
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,3 @@
+module lintcorpus
+
+go 1.22

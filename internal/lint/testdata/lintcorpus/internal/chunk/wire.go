@@ -1,0 +1,23 @@
+// Package chunk seeds the wirepin golden cases: a miniature wire
+// codec with magic offsets and an unpinned exported constant.
+package chunk
+
+// HeaderSize is pinned by wire_test.go: no finding.
+const HeaderSize = 8
+
+// Orphan is exported but referenced by no test anywhere.
+const Orphan = 99 // want "wirepin: exported wire constant Orphan is not referenced by any test"
+
+const offBody = 4
+
+// Decode indexes the buffer with bare literals.
+func Decode(b []byte) (uint16, uint16, []byte) {
+	hi := uint16(b[0])<<8 | uint16(b[1]) // 0 and 1 are idiomatic dispatch: no finding
+	lo := uint16(b[2])<<8 | uint16(b[3]) // want "wirepin: magic wire offset 2" "wirepin: magic wire offset 3"
+	return hi, lo, b[offBody:HeaderSize] // named bounds: no finding
+}
+
+// Peek slices with bare literal bounds.
+func Peek(b []byte) []byte {
+	return b[2:6] // want "wirepin: magic wire offset 2" "wirepin: magic wire offset 6"
+}

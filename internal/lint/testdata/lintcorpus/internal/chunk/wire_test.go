@@ -1,0 +1,11 @@
+package chunk
+
+import "testing"
+
+// TestLayoutPinned references HeaderSize, so the pinning pass does not
+// report it; Orphan is deliberately left unreferenced.
+func TestLayoutPinned(t *testing.T) {
+	if HeaderSize != 8 {
+		t.Fatalf("HeaderSize = %d, want 8", HeaderSize)
+	}
+}

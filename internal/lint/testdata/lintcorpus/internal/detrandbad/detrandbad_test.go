@@ -1,0 +1,16 @@
+package detrandbad
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// The global-source ban covers test files too (randomized workloads
+// must be seeded); the wall-clock ban does not (tests may time out).
+func TestGlobals(t *testing.T) {
+	if rand.Float64() < 0 { // want "detrand: math/rand\.Float64 draws from the unseeded global source"
+		t.Fatal("impossible")
+	}
+	_ = time.Now() // no finding: wall clock is legitimate in tests
+}

@@ -1,0 +1,57 @@
+// Package maprangebad reconstructs the PR 2 retransmit-scan bug: the
+// sender polled its unacked map directly, so datagram emission order —
+// observable protocol output — followed Go's randomized map order and
+// seeded runs diverged.
+package maprangebad
+
+import "sort"
+
+type rec struct {
+	rto int64
+}
+
+// Sender is a miniature of the transport sender's retransmission
+// state: TPDU ID -> record.
+type Sender struct {
+	unacked map[uint32]*rec
+}
+
+// Poll is the bug as shipped: emission order follows map order.
+func (s *Sender) Poll(send func(uint32)) {
+	for tid := range s.unacked { // want "maprange: iteration order of map s\.unacked can leak into behavior"
+		send(tid)
+	}
+}
+
+// PollSorted is the fix: collect, sort, then emit (exempt).
+func (s *Sender) PollSorted(send func(uint32)) {
+	tids := make([]uint32, 0, len(s.unacked))
+	for tid := range s.unacked {
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	for _, tid := range tids {
+		send(tid)
+	}
+}
+
+// Count has an order-free body (exempt).
+func (s *Sender) Count() int {
+	n := 0
+	for range s.unacked {
+		n++
+	}
+	return n
+}
+
+// Max is a reduction the analysis cannot prove order-free; it carries
+// an annotated allow.
+func (s *Sender) Max() uint32 {
+	var m uint32
+	for tid := range s.unacked { //lint:allow maprange max-reduction over unique keys is iteration-order independent
+		if tid > m {
+			m = tid
+		}
+	}
+	return m
+}

@@ -1,0 +1,42 @@
+// Package poolsafebad seeds the poolsafe golden cases: pooled values
+// escaping by return and by store into a longer-lived structure.
+package poolsafebad
+
+import "sync"
+
+type buf struct {
+	b []byte
+}
+
+type holder struct {
+	cur *buf
+}
+
+var pool = sync.Pool{New: func() any { return new(buf) }}
+
+// Leak returns a pooled object: two owners after the next Put.
+func Leak() *buf {
+	w := pool.Get().(*buf)
+	return w // want "poolsafe: sync\.Pool-derived value w escapes via return"
+}
+
+// Stash parks a pooled object in a longer-lived struct.
+func Stash(h *holder) {
+	w := pool.Get().(*buf)
+	h.cur = w // want "poolsafe: sync\.Pool-derived value w stored into longer-lived h\.cur"
+}
+
+// Scratch is the discipline as intended: use locally, put back.
+func Scratch() int {
+	w := pool.Get().(*buf)
+	n := len(w.b)
+	w.b = w.b[:0] // storing INTO the pooled object is recycling: no finding
+	pool.Put(w)
+	return n
+}
+
+// Transfer is a sanctioned ownership hand-off with an annotated allow.
+func Transfer() *buf {
+	w := pool.Get().(*buf)
+	return w //lint:allow poolsafe allocator API: Get transfers ownership, the caller must Put
+}

@@ -1,0 +1,43 @@
+// Package telemetry seeds the nilnoop golden cases: instrument
+// pointer methods with and without the nil-receiver guard.
+package telemetry
+
+// Counter mirrors the real instrument shape.
+type Counter struct {
+	n int64
+}
+
+// Add is the contract as written: guard first.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.n += d
+}
+
+// Inc delegates to a guarded sibling: no finding.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value forgets the guard: a nil Counter panics here.
+func (c *Counter) Value() int64 { // want "nilnoop: exported method \(\*Counter\)\.Value must begin with an `if c == nil` guard"
+	return c.n
+}
+
+// Gauge exercises a second instrument type.
+type Gauge struct {
+	v int64
+}
+
+// Set forgets the guard.
+func (g *Gauge) Set(v int64) { // want "nilnoop: exported method \(\*Gauge\)\.Set must begin with an `if g == nil` guard"
+	g.v = v
+}
+
+// helper is unexported: out of contract, no finding.
+func (g *Gauge) helper() int64 { return g.v }
+
+// Other is not an instrument type: no finding.
+type Other struct{ v int64 }
+
+// Get is exported but Other is not in the instrument set.
+func (o *Other) Get() int64 { return o.v }

@@ -124,7 +124,7 @@ func (pk *Packer) Encode(chs []chunk.Chunk) ([][]byte, error) {
 		if total > MaxSize {
 			return ErrBadLength
 		}
-		binary.BigEndian.PutUint16(cur[2:4], uint16(total))
+		binary.BigEndian.PutUint16(cur[offTotal:HeaderSize], uint16(total))
 		pk.Fill.Observe(int64(used * 100 / budget))
 		out = append(out, cur)
 		cur, used = nil, 0

@@ -34,6 +34,10 @@ const (
 	Version = 1
 	// MaxSize bounds a packet (the length field is 16 bits).
 	MaxSize = 1<<16 - 1
+
+	// offTotal is the offset of the total-length field; it runs to
+	// HeaderSize.
+	offTotal = 2
 )
 
 // Envelope errors.
@@ -110,7 +114,7 @@ func Decode(b []byte) (Packet, error) {
 	if b[1] != Version {
 		return Packet{}, ErrBadVersion
 	}
-	total := int(binary.BigEndian.Uint16(b[2:4]))
+	total := int(binary.BigEndian.Uint16(b[offTotal:HeaderSize]))
 	if total < HeaderSize || total > len(b) {
 		return Packet{}, ErrBadLength
 	}

@@ -6,6 +6,23 @@ import (
 	"chunks/internal/chunk"
 )
 
+// TestEnvelopeConstantsPinned pins the envelope's wire-visible
+// values: changing any of these changes what peers accept.
+func TestEnvelopeConstantsPinned(t *testing.T) {
+	if HeaderSize != 4 {
+		t.Errorf("HeaderSize = %d, want 4", HeaderSize)
+	}
+	if Magic != 0xC5 {
+		t.Errorf("Magic = %#x, want 0xC5", Magic)
+	}
+	if Version != 1 {
+		t.Errorf("Version = %d, want 1", Version)
+	}
+	if MaxSize != 1<<16-1 {
+		t.Errorf("MaxSize = %d, want %d", MaxSize, 1<<16-1)
+	}
+}
+
 func dataChunk(csn, tsn, xsn uint64, elems int, tst bool) chunk.Chunk {
 	payload := make([]byte, elems)
 	for i := range payload {

@@ -134,13 +134,14 @@ func (s HistSnapshot) Max() int64 {
 // Diff subtracts prev from s, bucket by bucket.
 func (s HistSnapshot) Diff(prev HistSnapshot) HistSnapshot {
 	out := HistSnapshot{Count: s.Count - prev.Count, Sum: s.Sum - prev.Sum}
+	diff := map[int]int64{}
 	for i, n := range s.Buckets {
 		if d := n - prev.Buckets[i]; d != 0 {
-			if out.Buckets == nil {
-				out.Buckets = map[int]int64{}
-			}
-			out.Buckets[i] = d
+			diff[i] = d
 		}
+	}
+	if len(diff) > 0 {
+		out.Buckets = diff
 	}
 	return out
 }

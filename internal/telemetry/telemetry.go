@@ -295,6 +295,9 @@ func (r *Registry) Snapshot() Snapshot {
 	for n := range r.scopes {
 		names = append(names, n)
 	}
+	// Snapshots are diffed and printed; scope order must not vary run
+	// to run.
+	sort.Strings(names)
 	scopes := make([]*Scope, 0, len(names))
 	for _, n := range names {
 		scopes = append(scopes, r.scopes[n])

@@ -130,7 +130,7 @@ var recPool = sync.Pool{New: func() any { return new(tpduRec) }}
 func getRec() *tpduRec {
 	rec := recPool.Get().(*tpduRec)
 	*rec = tpduRec{chunks: rec.chunks[:0], payload: rec.payload[:0], edbuf: rec.edbuf[:0]}
-	return rec
+	return rec //lint:allow poolsafe getRec IS the ownership transfer; putRec recycles on ACK
 }
 
 // A RetransmitEvent records one timer-driven retransmission on the

@@ -1,0 +1,29 @@
+package chunks
+
+import (
+	"testing"
+
+	"chunks/internal/lint"
+)
+
+// TestLintClean runs the full chunklint suite over this module
+// in-process, so `go test ./...` fails on any new determinism,
+// wire-pinning or telemetry-contract violation — the tree must stay
+// at zero findings (suppressions require an annotated //lint:allow
+// with a reason).
+func TestLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks the whole module")
+	}
+	m, err := lint.Load(".")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags := lint.Run(m, lint.AllChecks())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Logf("%d finding(s); run `go run ./cmd/chunklint` for details", len(diags))
+	}
+}
