@@ -116,6 +116,13 @@ func BenchmarkP9ChecksumKernels(b *testing.B) {
 	run("sharded4", func(p []byte) (wsc.Parity, error) { return wsc.EncodeBytesParallel(p, 4) })
 }
 
+// Adversarial overlap matrix (O1): the full differential replay —
+// every schedule through vr, ipfrag, and the OS models, with a WSC-2
+// parity check per delivery.
+func BenchmarkO1OverlapMatrix(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) { return experiments.O1(1) })
+}
+
 func BenchmarkNetsimDisordering(b *testing.B) {
 	benchTable(b, func() (*experiments.Table, error) { return experiments.Disordering(1) })
 }

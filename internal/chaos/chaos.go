@@ -25,6 +25,8 @@ import (
 	"sync"
 	"time"
 
+	"chunks/internal/chunk"
+	"chunks/internal/packet"
 	"chunks/internal/telemetry"
 )
 
@@ -57,6 +59,13 @@ type Schedule struct {
 	// the server sees the same connection ID arriving from a spoofed
 	// peer. Tests that the control path cannot be hijacked.
 	SpoofProb float64
+	// ForgeOverlapProb is the per-datagram probability of forging a
+	// conflicting overlap: one data chunk of the datagram is re-encoded
+	// with a shifted element window and a mutated payload byte (labels
+	// kept consistent so it passes the receiver's per-TPDU checks) and
+	// injected as an extra datagram ahead of the original — the
+	// overlap-smuggling attack the receiver's overlap policy resolves.
+	ForgeOverlapProb float64
 }
 
 // Counters records the faults one direction actually inflicted.
@@ -68,6 +77,7 @@ type Counters struct {
 	Duplicated int // extra copies injected
 	Corrupted  int // datagrams with flipped bytes
 	Spoofed    int // copies re-sent from the spoofed source
+	Forged     int // conflicting-overlap datagrams injected
 }
 
 // Config parameterises a Relay.
@@ -108,6 +118,54 @@ func Corrupt(rng *rand.Rand, b []byte, max int) {
 	}
 }
 
+// ForgeOverlap derives a conflicting-overlap datagram from the encoded
+// packet d: a seeded pick of one data chunk is cloned with a shifted
+// element window and exactly one mutated payload byte, preserving the
+// label deltas (C.SN−T.SN, C.SN−X.SN), C.ID and SIZE so the forgery
+// passes the receiver's per-TPDU consistency checks and lands as a
+// duplicate interval carrying DIFFERENT bytes — the overlap-smuggling
+// shape the receive-side overlap policy must resolve. ST bits are
+// cleared so the forgery never claims a PDU end. Returns nil when d is
+// not a packet or holds no data chunk to forge from. Exported so
+// corpus generators can pin exactly the forgeries the relay produces.
+func ForgeOverlap(rng *rand.Rand, d []byte) []byte {
+	p, err := packet.Decode(d)
+	if err != nil {
+		return nil
+	}
+	var cands []int
+	for i := range p.Chunks {
+		c := &p.Chunks[i]
+		if c.Type == chunk.TypeData && c.Len >= 1 && c.Size > 0 && len(c.Payload) == c.PayloadLen() {
+			cands = append(cands, i)
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	f := p.Chunks[cands[rng.Intn(len(cands))]].Clone()
+	// Keep elements [off, off+m) of the original chunk; shifting every
+	// SN by off preserves the per-TPDU deltas the receiver verifies.
+	off := uint64(rng.Intn(int(f.Len)))
+	m := uint64(1 + rng.Intn(int(f.Len)-int(off)))
+	f.C.SN += off
+	f.T.SN += off
+	f.X.SN += off
+	f.C.ST, f.T.ST, f.X.ST = false, false, false
+	f.Payload = f.Payload[off*uint64(f.Size) : (off+m)*uint64(f.Size)]
+	f.Len = uint32(m)
+	// Exactly one byte flipped with a nonzero mask: the forgery is
+	// guaranteed to CONFLICT with the genuine bytes, never merely
+	// duplicate them.
+	f.Payload[rng.Intn(len(f.Payload))] ^= byte(1 + rng.Intn(255))
+	fp := packet.Packet{Chunks: []chunk.Chunk{f}}
+	out, err := fp.AppendTo(nil, 0)
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
 // held is one datagram waiting in a reorder window, with its delivery
 // closure (destinations differ per client session).
 type held struct {
@@ -126,6 +184,7 @@ type pipeTel struct {
 	duplicated *telemetry.Counter
 	corrupted  *telemetry.Counter
 	spoofed    *telemetry.Counter
+	forged     *telemetry.Counter
 }
 
 func newPipeTel(sink telemetry.Sink) pipeTel {
@@ -137,6 +196,7 @@ func newPipeTel(sink telemetry.Sink) pipeTel {
 		duplicated: sink.Counter("duplicated"),
 		corrupted:  sink.Counter("corrupted"),
 		spoofed:    sink.Counter("spoofed"),
+		forged:     sink.Counter("forged"),
 	}
 }
 
@@ -194,6 +254,16 @@ func (p *pipe) offer(data []byte, send, spoofSend func([]byte)) {
 		Corrupt(p.rng, d, p.sched.CorruptMax)
 		p.counters.Corrupted++
 		p.tel.corrupted.Inc()
+	}
+	if p.sched.ForgeOverlapProb > 0 && p.rng.Float64() < p.sched.ForgeOverlapProb {
+		// The forgery races AHEAD of the genuine datagram, so the
+		// receiver frequently accepts forged bytes first — the nastier
+		// placement the end-to-end check must still catch.
+		if f := ForgeOverlap(p.rng, d); f != nil {
+			p.counters.Forged++
+			p.tel.forged.Inc()
+			send(f)
+		}
 	}
 	if spoofSend != nil && p.sched.SpoofProb > 0 && p.rng.Float64() < p.sched.SpoofProb {
 		p.counters.Spoofed++

@@ -12,6 +12,7 @@ import (
 	"chunks/internal/chaos"
 	"chunks/internal/core"
 	"chunks/internal/telemetry"
+	"chunks/internal/vr"
 )
 
 func testData(n int, seed int64) []byte {
@@ -33,6 +34,9 @@ type soakCase struct {
 	// pace, when set, sleeps between 4 KiB writes so the transfer
 	// spans time-based fault windows.
 	pace time.Duration
+	// policy is the server's conflicting-overlap policy (zero value =
+	// vr.FirstWins).
+	policy vr.Policy
 	// inflicted asserts the schedule actually did something.
 	inflicted func(up, down chaos.Counters) bool
 }
@@ -102,6 +106,37 @@ func TestChaosSoak(t *testing.T) {
 			},
 		},
 		{
+			// Conflicting-overlap forgeries under the default
+			// first-wins policy: a forgery racing ahead of the genuine
+			// datagram gets its bytes placed first, the parity compare
+			// catches the smuggle, and retransmission rebuilds the
+			// TPDU — delivery must still be byte-exact.
+			name:       "overlapforge",
+			cfg:        chaos.Config{Seed: 110, Up: chaos.Schedule{ForgeOverlapProb: 0.25}},
+			maxRetries: 64,
+			inflicted:  func(up, _ chaos.Counters) bool { return up.Forged > 0 },
+		},
+		{
+			// The same forgeries under last-wins: conflicting bytes are
+			// replaced together with their parity contribution, so the
+			// stream and the end-to-end check stay in step.
+			name: "overlapforge-lastwins",
+			cfg: chaos.Config{Seed: 111, Up: chaos.Schedule{
+				ForgeOverlapProb: 0.20, LossProb: 0.05}},
+			maxRetries: 64,
+			policy:     vr.LastWins,
+			inflicted:  func(up, _ chaos.Counters) bool { return up.Forged > 0 && up.Dropped > 0 },
+		},
+		{
+			// reject-pdu abandons a conflicted TPDU outright; honest
+			// retransmissions rebuild it from scratch.
+			name:       "overlapforge-rejectpdu",
+			cfg:        chaos.Config{Seed: 112, Up: chaos.Schedule{ForgeOverlapProb: 0.15}},
+			maxRetries: 64,
+			policy:     vr.RejectPDU,
+			inflicted:  func(up, _ chaos.Counters) bool { return up.Forged > 0 },
+		},
+		{
 			name: "deadpeer",
 			cfg: chaos.Config{Seed: 109, Up: chaos.Schedule{
 				BlackholeFor: time.Hour}}, // black hole from the start
@@ -128,9 +163,10 @@ func runSoak(t *testing.T, tc soakCase) {
 	reg := telemetry.New(0)
 
 	srv, err := core.Serve("127.0.0.1:0", core.Config{
-		PollEvery: 3 * time.Millisecond,
-		ReapAfter: 400,
-		Telemetry: reg,
+		PollEvery:     3 * time.Millisecond,
+		ReapAfter:     400,
+		OverlapPolicy: tc.policy,
+		Telemetry:     reg,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -36,6 +36,7 @@ import (
 	"chunks/internal/packet"
 	"chunks/internal/telemetry"
 	"chunks/internal/transport"
+	"chunks/internal/vr"
 )
 
 // Config carries the tunables shared by Dial and Serve.
@@ -90,6 +91,14 @@ type Config struct {
 	// the memory a lossy or dead peer can pin; 0 means 250 rounds
 	// (use a negative value to disable reaping entirely).
 	ReapAfter int
+	// OverlapPolicy selects the receive-side conflicting-overlap
+	// policy (see transport.ReceiverConfig.OverlapPolicy). Under
+	// vr.RejectConnection a conflicting overlap tears the server-side
+	// connection down; OnConnRejected fires with its identity.
+	OverlapPolicy vr.Policy
+	// OnConnRejected, when set on the Serve side, fires once per
+	// connection torn down by the vr.RejectConnection overlap policy.
+	OnConnRejected func(cid uint32, peer net.Addr)
 
 	// OnFrame and OnTPDU are receive-side delivery callbacks.
 	OnFrame func(xid uint32, data []byte)

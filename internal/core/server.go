@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sort"
@@ -55,11 +56,13 @@ type Server struct {
 	shutOnce sync.Once
 	wg       sync.WaitGroup
 
-	expired int // connections reaped by idle expiry
+	expired  int // connections reaped by idle expiry
+	rejected int // connections torn down by vr.RejectConnection
 
 	telEstablished *telemetry.Counter
 	telExpired     *telemetry.Counter
 	telDatagrams   *telemetry.Counter
+	telRejected    *telemetry.Counter
 	telLive        *telemetry.Gauge
 	telRing        *telemetry.Ring
 }
@@ -88,6 +91,7 @@ func Serve(addr string, cfg Config) (*Server, error) {
 		telEstablished: sink.Counter("conns_established"),
 		telExpired:     sink.Counter("conns_expired"),
 		telDatagrams:   sink.Counter("datagrams_in"),
+		telRejected:    sink.Counter("conns_rejected"),
 		telLive:        sink.Gauge("conns_live"),
 		telRing:        sink.Ring,
 	}
@@ -106,11 +110,12 @@ func Serve(addr string, cfg Config) (*Server, error) {
 
 func (s *Server) receiverConfig() transport.ReceiverConfig {
 	return transport.ReceiverConfig{
-		MTU:       s.cfg.MTU,
-		OnFrame:   s.cfg.OnFrame,
-		OnTPDU:    s.cfg.OnTPDU,
-		Repair:    s.cfg.Repair,
-		ReapAfter: s.cfg.ReapAfter,
+		MTU:           s.cfg.MTU,
+		OnFrame:       s.cfg.OnFrame,
+		OnTPDU:        s.cfg.OnTPDU,
+		Repair:        s.cfg.Repair,
+		ReapAfter:     s.cfg.ReapAfter,
+		OverlapPolicy: s.cfg.OverlapPolicy,
 	}
 }
 
@@ -168,8 +173,13 @@ func (s *Server) readLoop() {
 		// are usually single-connection, so cache the last lookup.
 		var cur *serverConn
 		var curCID uint32
+		var droppedCID uint32
+		dropped := false
 		for i := range p.Chunks {
 			cid := p.Chunks[i].C.ID
+			if dropped && cid == droppedCID {
+				continue // connection torn down earlier in this packet
+			}
 			if cur == nil || cid != curCID {
 				cur, curCID = s.conn(cid, from), cid
 			}
@@ -177,7 +187,20 @@ func (s *Server) readLoop() {
 				continue
 			}
 			cur.lastActive = now
-			_ = cur.r.HandleChunk(&p.Chunks[i])
+			if err := cur.r.HandleChunk(&p.Chunks[i]); errors.Is(err, transport.ErrConnectionRejected) {
+				// The vr.RejectConnection overlap policy tripped: tear
+				// the connection down and drop the rest of the packet
+				// for it. A later packet re-establishes fresh state.
+				delete(s.conns, connKey{cid: curCID, addr: from.String()})
+				s.rejected++
+				s.telRejected.Inc()
+				s.telLive.Set(int64(len(s.conns)))
+				if s.cfg.OnConnRejected != nil {
+					s.cfg.OnConnRejected(curCID, cur.peer)
+				}
+				droppedCID, dropped = curCID, true
+				cur = nil
+			}
 		}
 		s.mu.Unlock()
 	}
@@ -266,6 +289,14 @@ func (s *Server) Expired() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.expired
+}
+
+// RejectedConns returns how many connections the vr.RejectConnection
+// overlap policy has torn down.
+func (s *Server) RejectedConns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rejected
 }
 
 // Stream returns a copy of the application bytes placed so far on the

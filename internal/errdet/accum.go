@@ -54,6 +54,44 @@ func (b *blockAccumulator) addData(c *chunk.Chunk, lo, hi uint64) error {
 	return nil
 }
 
+// addRaw accumulates raw bytes as the data symbols of elements
+// [sn, sn+len(data)/size), mirroring addData without a chunk. Because
+// the accumulator is XOR-linear, adding bytes that were already
+// accumulated cancels them — this is the LastWins replacement
+// primitive: add the old bytes (cancel), then add the new.
+func (b *blockAccumulator) addRaw(sn uint64, size uint16, data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	n := uint64(len(data)) / uint64(size)
+	spe := SymbolsPerElement(size)
+	if (sn+n)*spe > b.layout.DataSymbols {
+		return fmt.Errorf("%w: elements [%d,%d) of size %d", ErrLayout, sn, sn+n, size)
+	}
+	if size%wsc.SymbolSize == 0 {
+		return b.acc.AddBytes(sn*spe, data)
+	}
+	var buf [8 * wsc.SymbolSize]byte
+	var pad []byte
+	if spe <= uint64(len(buf))/wsc.SymbolSize {
+		pad = buf[:spe*wsc.SymbolSize]
+	} else {
+		pad = make([]byte, spe*wsc.SymbolSize)
+	}
+	off := 0
+	for i := uint64(0); i < n; i++ {
+		for j := range pad {
+			pad[j] = 0
+		}
+		copy(pad, data[off:off+int(size)])
+		off += int(size)
+		if err := b.acc.AddBytes((sn+i)*spe, pad); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // addTrigger encodes the (X.ID, X.ST) pair for the trigger element of
 // c — its LAST element — if that element carries X.ST or T.ST
 // (Figure 6). Callers must ensure the trigger element is fresh (not a

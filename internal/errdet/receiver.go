@@ -1,6 +1,7 @@
 package errdet
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -56,6 +57,15 @@ type Receiver struct {
 	xs       map[uint32]*xState
 	findings []Finding
 
+	// policy is the conflicting-overlap policy applied at T-level
+	// virtual reassembly; prior supplies the previously accepted bytes
+	// for an element interval in connection-stream (C.SN) space.
+	// Conflict detection is active only when prior is set — virtual
+	// reassembly stores no payload, so the payload owner must lend its
+	// view (Section 3.3).
+	policy vr.Policy
+	prior  vr.View
+
 	// Checksum-kernel instruments (nil until SetTelemetry): how many
 	// payload bytes went through the WSC-2 kernels and the size
 	// distribution of the contiguous runs they arrived in — the run
@@ -64,6 +74,22 @@ type Receiver struct {
 	// experiment.
 	wscBytes    *telemetry.Counter
 	wscRunBytes *telemetry.Histogram
+	// Overlap-policy instruments: conflicting-overlap runs observed and
+	// chunks refused by a rejecting policy, within this receiver's
+	// (hence this policy's) scope.
+	overlapConflicts *telemetry.Counter
+	overlapRejects   *telemetry.Counter
+}
+
+// SetOverlapPolicy selects the conflicting-overlap policy and installs
+// the prior-bytes view that feeds conflict detection. The view is
+// queried with element intervals in connection-stream (C.SN) space and
+// must return the bytes previously placed there, or nil to decline.
+// With a nil view conflicts are undetectable and every policy behaves
+// like vr.FirstWins (the paper's silent duplicate discard).
+func (r *Receiver) SetOverlapPolicy(pol vr.Policy, prior vr.View) {
+	r.policy = pol
+	r.prior = prior
 }
 
 // SetTelemetry attaches checksum instruments resolved from the sink's
@@ -72,10 +98,13 @@ type Receiver struct {
 func (r *Receiver) SetTelemetry(tel telemetry.Sink) {
 	if !tel.Enabled() {
 		r.wscBytes, r.wscRunBytes = nil, nil
+		r.overlapConflicts, r.overlapRejects = nil, nil
 		return
 	}
 	r.wscBytes = tel.Counter("wsc_bytes")
 	r.wscRunBytes = tel.Histogram("wsc_run_bytes")
+	r.overlapConflicts = tel.Counter("overlap_conflicts")
+	r.overlapRejects = tel.Counter("overlap_rejects")
 }
 
 // NewReceiver returns a Receiver using the given invariant layout.
@@ -121,24 +150,43 @@ func (r *Receiver) Ingest(c *chunk.Chunk) error {
 // that has already been received" (Section 3.3), and a placer that
 // blindly overwrites could diverge from the verified parity.
 func (r *Receiver) IngestFresh(c *chunk.Chunk) ([]vr.Interval, error) {
+	fresh, _, err := r.IngestPlaced(c)
+	if errors.Is(err, vr.ErrConflictingData) {
+		// A policy rejection is corruption handling (a finding), not an
+		// interpretation failure; IngestFresh keeps its old contract.
+		err = nil
+	}
+	return fresh, err
+}
+
+// IngestPlaced is IngestFresh for the caller that owns the placed
+// payload (the transport). Beyond fresh it returns replace: under
+// vr.LastWins, the conflicting duplicate intervals whose placed bytes
+// must be overwritten with c's bytes (the receiver has already swapped
+// their parity contribution); nil under every other policy. When a
+// rejecting policy refuses the chunk the error wraps
+// vr.ErrConflictingData so the caller can escalate — tearing the
+// connection down under vr.RejectConnection.
+func (r *Receiver) IngestPlaced(c *chunk.Chunk) (fresh, replace []vr.Interval, err error) {
 	switch c.Type {
 	case chunk.TypeData:
-		return r.ingestData(c), nil
+		fresh, replace, err = r.ingestData(c)
+		return fresh, replace, err
 	case chunk.TypeED:
 		r.ingestED(c)
-		return nil, nil
+		return nil, nil, nil
 	case chunk.TypeSignal, chunk.TypeAck, chunk.TypeNack:
-		return nil, nil
+		return nil, nil, nil
 	default:
-		return nil, chunk.ErrBadType
+		return nil, nil, chunk.ErrBadType
 	}
 }
 
-func (r *Receiver) ingestData(c *chunk.Chunk) []vr.Interval {
+func (r *Receiver) ingestData(c *chunk.Chunk) (freshOut, replaceOut []vr.Interval, errOut error) {
 	t := r.tpdu(c.T.ID)
 	if t.finalized {
 		if t.verdict != VerdictEDMismatch {
-			return nil // late duplicate of a verified TPDU
+			return nil, nil, nil // late duplicate of a verified TPDU
 		}
 		// A TPDU that failed the parity compare gets a fresh chance
 		// when data is retransmitted: rebuild its verification state
@@ -157,15 +205,15 @@ func (r *Receiver) ingestData(c *chunk.Chunk) []vr.Interval {
 	} else {
 		if c.Size != t.size {
 			r.flag(VerdictReassembly, c.T.ID, "SIZE %d conflicts with %d", c.Size, t.size)
-			return nil
+			return nil, nil, nil
 		}
 		if c.C.ID != t.cid {
 			r.flag(VerdictConsistency, c.T.ID, "C.ID %d conflicts with %d", c.C.ID, t.cid)
-			return nil
+			return nil, nil, nil
 		}
 		if delta != t.delta {
 			r.flag(VerdictConsistency, c.T.ID, "C.SN-T.SN %d conflicts with %d", delta, t.delta)
-			return nil
+			return nil, nil, nil
 		}
 	}
 
@@ -177,15 +225,64 @@ func (r *Receiver) ingestData(c *chunk.Chunk) []vr.Interval {
 		r.xs[c.X.ID] = x
 	} else if x.haveDelta && x.delta != xdelta {
 		r.flag(VerdictConsistency, c.T.ID, "C.SN-X.SN %d conflicts with %d for X.ID %d", xdelta, x.delta, c.X.ID)
-		return nil
+		return nil, nil, nil
 	}
 
-	// Transport-level virtual reassembly with duplicate rejection.
+	// Transport-level virtual reassembly with duplicate rejection and
+	// the configured conflicting-overlap policy. The prior view (if
+	// any) is queried in C.SN space: shift by this TPDU's verified
+	// (C.SN - T.SN) delta.
 	n := uint64(c.Len)
-	fresh, err := t.t.Add(c.T.SN, n, c.T.ST)
+	var view vr.View
+	if r.prior != nil {
+		delta := t.delta
+		view = func(iv vr.Interval) []byte {
+			return r.prior(vr.Interval{Lo: iv.Lo + delta, Hi: iv.Hi + delta})
+		}
+	}
+	fresh, conflicts, err := t.t.AddChecked(c.T.SN, n, c.T.ST, r.policy, c.Payload, int(c.Size), view)
+	if len(conflicts) > 0 {
+		r.overlapConflicts.Add(int64(len(conflicts)))
+		for _, iv := range conflicts {
+			r.flag(VerdictConsistency, c.T.ID, "overlap conflict: duplicate %v carries different bytes (%v)", iv, r.policy)
+		}
+	}
 	if err != nil {
+		if errors.Is(err, vr.ErrConflictingData) {
+			r.overlapRejects.Inc()
+			if r.policy == vr.RejectPDU {
+				// Abandon the TPDU entirely: its state is discarded so
+				// honest retransmissions rebuild it from scratch. (The
+				// placed stream bytes are the caller's; retransmitted
+				// fresh intervals will overwrite them.)
+				delete(r.tpdus, c.T.ID)
+			}
+			r.flag(VerdictReassembly, c.T.ID, "T-level reassembly: %v (%v)", err, r.policy)
+			return nil, nil, err
+		}
 		r.flag(VerdictReassembly, c.T.ID, "T-level reassembly: %v", err)
-		return nil
+		return nil, nil, nil
+	}
+	if r.policy == vr.LastWins && len(conflicts) > 0 && view != nil {
+		// Swap the conflicting elements' parity contribution: re-add
+		// the old bytes (XOR-cancel), then add the replacement. The
+		// caller overwrites the placed bytes for exactly these
+		// intervals (replaceOut), keeping stream and parity in step.
+		for _, iv := range conflicts {
+			old := view(iv)
+			if old == nil {
+				continue
+			}
+			if err := t.blk.addRaw(iv.Lo, c.Size, old); err != nil {
+				r.flag(VerdictReassembly, c.T.ID, "overlap replace: %v", err)
+				return nil, nil, nil
+			}
+			if err := t.blk.addData(c, iv.Lo, iv.Hi); err != nil {
+				r.flag(VerdictReassembly, c.T.ID, "overlap replace: %v", err)
+				return nil, nil, nil
+			}
+			replaceOut = append(replaceOut, iv)
+		}
 	}
 
 	// External-level virtual reassembly (ALF frame completion).
@@ -199,7 +296,7 @@ func (r *Receiver) ingestData(c *chunk.Chunk) []vr.Interval {
 	for _, iv := range fresh {
 		if err := t.blk.addData(c, iv.Lo, iv.Hi); err != nil {
 			r.flag(VerdictReassembly, c.T.ID, "data outside layout: %v", err)
-			return nil
+			return nil, nil, nil
 		}
 		run := int64(iv.Hi-iv.Lo) * int64(c.Size)
 		r.wscBytes.Add(run)
@@ -212,7 +309,7 @@ func (r *Receiver) ingestData(c *chunk.Chunk) []vr.Interval {
 	if freshContains(fresh, lastSN) {
 		if err := t.blk.addTrigger(c); err != nil {
 			r.flag(VerdictReassembly, c.T.ID, "trigger outside layout: %v", err)
-			return nil
+			return nil, nil, nil
 		}
 		if c.C.ST {
 			t.cst = true
@@ -220,7 +317,7 @@ func (r *Receiver) ingestData(c *chunk.Chunk) []vr.Interval {
 	}
 
 	r.maybeFinalize(c.T.ID, t)
-	return fresh
+	return fresh, replaceOut, nil
 }
 
 func (r *Receiver) ingestED(c *chunk.Chunk) {

@@ -4,6 +4,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"chunks/internal/overlap"
 )
 
 // TestAllExperimentsRun executes the entire index once and checks that
@@ -14,7 +16,7 @@ func TestAllExperimentsRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	wantIDs := []string{"F1", "F2", "F3", "F4", "F5", "F6", "F7", "T1", "B1",
-		"P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8", "P9", "NET"}
+		"P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8", "P9", "O1", "NET"}
 	if len(tables) != len(wantIDs) {
 		t.Fatalf("%d tables, want %d", len(tables), len(wantIDs))
 	}
@@ -202,9 +204,44 @@ func TestP9Shape(t *testing.T) {
 	}
 }
 
+// TestO1Shape enforces the acceptance claim at the experiment level:
+// the detected column equals the smuggled count on every row (WSC-2
+// flags every smuggled delivery), at least one row actually smuggles,
+// and the modeled OS stacks genuinely disagree somewhere.
+func TestO1Shape(t *testing.T) {
+	tb, err := O1(29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawSmuggled := false
+	for i, r := range tb.Rows {
+		smug := strings.SplitN(r.Cells[4], "/", 2)[0]
+		det := strings.SplitN(r.Cells[5], "/", 2)
+		if len(det) != 2 || det[0] != det[1] || det[1] != smug {
+			t.Errorf("row %d (%s): smuggled %s but detected %s", i, r.Cells[0], r.Cells[4], r.Cells[5])
+		}
+		if smug != "0" {
+			sawSmuggled = true
+		}
+	}
+	if !sawSmuggled {
+		t.Fatal("no schedule smuggled anything; the matrix proves nothing")
+	}
+	sum, err := overlap.Run(29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.DetectionRate != 1.0 {
+		t.Fatalf("detection rate %v, want 1.0", sum.DetectionRate)
+	}
+	if sum.DisagreeSchedules < 1 {
+		t.Fatal("modeled OS stacks never disagree")
+	}
+}
+
 func TestByID(t *testing.T) {
 	for _, id := range []string{"F1", "F2", "F3", "F4", "F5", "F6", "F7",
-		"T1", "B1", "P1", "P2", "P3", "P4", "P6", "P7", "NET"} {
+		"T1", "B1", "P1", "P2", "P3", "P4", "P6", "P7", "O1", "NET"} {
 		gen := ByID(id, 1)
 		if gen == nil {
 			t.Fatalf("ByID(%s) = nil", id)

@@ -230,6 +230,7 @@ func All(seed int64) ([]*Table, error) {
 		seeded(P1), seeded(P2), seeded(P3), seeded(P4),
 		func() (*Table, error) { return P5(seed, 2000) },
 		seeded(P6), P7, seeded(P8), seeded(P9),
+		seeded(O1),
 		seeded(Disordering),
 	}
 	var out []*Table
@@ -244,7 +245,7 @@ func All(seed int64) ([]*Table, error) {
 }
 
 // ByID returns the generator for one experiment id ("F1".."P9",
-// "T1", "NET"), or nil.
+// "T1", "O1", "NET"), or nil.
 func ByID(id string, seed int64) func() (*Table, error) {
 	switch id {
 	case "F1":
@@ -283,6 +284,8 @@ func ByID(id string, seed int64) func() (*Table, error) {
 		return func() (*Table, error) { return P8(seed) }
 	case "P9":
 		return func() (*Table, error) { return P9(seed) }
+	case "O1":
+		return func() (*Table, error) { return O1(seed) }
 	case "NET":
 		return func() (*Table, error) { return Disordering(seed) }
 	}

@@ -10,9 +10,13 @@
 package ipfrag
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
+
+	"chunks/internal/vr"
 )
 
 // Wire layout of a fragment:
@@ -35,6 +39,10 @@ var (
 	ErrShortBuffer = errors.New("ipfrag: truncated fragment")
 	ErrTinyMTU     = errors.New("ipfrag: MTU cannot hold any data")
 	ErrBufferFull  = errors.New("ipfrag: reassembly buffer full")
+	// ErrConflictingOverlap reports a fragment whose bytes disagree
+	// with already-buffered bytes for the same offsets, under a
+	// rejecting overlap policy. The whole datagram is discarded.
+	ErrConflictingOverlap = errors.New("ipfrag: conflicting overlap")
 )
 
 // A Fragment is one piece of a datagram.
@@ -141,8 +149,19 @@ type Reassembler struct {
 	// Capacity bounds total buffered payload bytes; 0 means unbounded.
 	Capacity int
 
-	pend map[uint32]*pending
-	used int
+	// Policy selects the conflicting-overlap behavior. The zero value
+	// (vr.FirstWins) keeps the bytes first buffered; vr.LastWins
+	// overwrites (the historic behavior of this reassembler, and of
+	// several real IP stacks); vr.RejectPDU and vr.RejectConnection
+	// both discard the whole datagram with ErrConflictingOverlap — IP
+	// reassembly has no connection to tear down, so the distinction is
+	// the caller's.
+	Policy vr.Policy
+
+	pend      map[uint32]*pending
+	used      int
+	conflicts int
+	rejects   int
 }
 
 // NewReassembler returns a reassembler with the given buffer capacity.
@@ -152,6 +171,14 @@ func NewReassembler(capacity int) *Reassembler {
 
 // Used returns the buffered payload bytes.
 func (r *Reassembler) Used() int { return r.used }
+
+// Conflicts returns the number of conflicting-overlap runs observed
+// (fragments carrying bytes that disagreed with buffered bytes).
+func (r *Reassembler) Conflicts() int { return r.conflicts }
+
+// Rejects returns the number of datagrams discarded by a rejecting
+// overlap policy.
+func (r *Reassembler) Rejects() int { return r.rejects }
 
 // Pending returns the number of incomplete datagrams.
 func (r *Reassembler) Pending() int { return len(r.pend) }
@@ -190,12 +217,38 @@ func (r *Reassembler) Add(f Fragment) ([]byte, error) {
 		return nil, ErrBufferFull
 	}
 
+	// Conflicting-overlap handling: compare the fragment's bytes with
+	// what is already buffered wherever the ranges intersect. (The
+	// pre-policy reassembler copied unconditionally — silent last-wins.)
+	dups := overlapSpans(p.have, lo, hi)
+	nConflicts := 0
+	for _, d := range dups {
+		nConflicts += len(diffRuns(p.data[d.lo:d.hi], f.Data[d.lo-lo:d.hi-lo]))
+	}
+	if nConflicts > 0 {
+		r.conflicts += nConflicts
+		if r.Policy == vr.RejectPDU || r.Policy == vr.RejectConnection {
+			r.used -= p.bytes
+			delete(r.pend, f.ID)
+			r.rejects++
+			return nil, ErrConflictingOverlap
+		}
+	}
+
 	if hi > len(p.data) {
 		grown := make([]byte, hi)
 		copy(grown, p.data)
 		p.data = grown
 	}
-	copy(p.data[lo:hi], f.Data)
+	if len(dups) == 0 || r.Policy == vr.LastWins {
+		copy(p.data[lo:hi], f.Data)
+	} else {
+		// FirstWins: write only the uncovered sub-ranges; buffered
+		// bytes keep their first-accepted values.
+		for _, g := range gapsIn(dups, lo, hi) {
+			copy(p.data[g.lo:g.hi], f.Data[g.lo-lo:g.hi-lo])
+		}
+	}
 	p.have = append(p.have, span{lo, hi})
 	if fresh > 0 {
 		p.bytes += fresh
@@ -231,6 +284,76 @@ func (r *Reassembler) Evict() (uint32, bool) {
 	r.used -= r.pend[victim].bytes
 	delete(r.pend, victim)
 	return victim, true
+}
+
+// overlapSpans returns the merged sub-ranges of [lo, hi) already
+// covered by have — the duplicate portions of an incoming fragment.
+func overlapSpans(have []span, lo, hi int) []span {
+	var out []span
+	for _, s := range have {
+		a, b := max(s.lo, lo), min(s.hi, hi)
+		if a < b {
+			out = append(out, span{a, b})
+		}
+	}
+	if len(out) < 2 {
+		return out
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].lo < out[j].lo })
+	merged := out[:1]
+	for _, s := range out[1:] {
+		last := &merged[len(merged)-1]
+		if s.lo <= last.hi {
+			if s.hi > last.hi {
+				last.hi = s.hi
+			}
+		} else {
+			merged = append(merged, s)
+		}
+	}
+	return merged
+}
+
+// diffRuns returns the maximal runs where old and new disagree.
+func diffRuns(old, new []byte) []span {
+	if bytes.Equal(old, new) {
+		return nil
+	}
+	var out []span
+	runLo, inRun := 0, false
+	for i := range old {
+		same := old[i] == new[i]
+		if !same && !inRun {
+			runLo, inRun = i, true
+		}
+		if same && inRun {
+			out = append(out, span{runLo, i})
+			inRun = false
+		}
+	}
+	if inRun {
+		out = append(out, span{runLo, len(old)})
+	}
+	return out
+}
+
+// gapsIn returns the sub-ranges of [lo, hi) NOT covered by the merged
+// span list — the genuinely fresh portions of an incoming fragment.
+func gapsIn(covered []span, lo, hi int) []span {
+	var out []span
+	cur := lo
+	for _, s := range covered {
+		if cur < s.lo {
+			out = append(out, span{cur, s.lo})
+		}
+		if s.hi > cur {
+			cur = s.hi
+		}
+	}
+	if cur < hi {
+		out = append(out, span{cur, hi})
+	}
+	return out
 }
 
 // covered reports whether spans cover [0, total).

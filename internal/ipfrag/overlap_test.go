@@ -1,0 +1,169 @@
+package ipfrag
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"chunks/internal/vr"
+)
+
+// conflictPair builds the canonical conflicting overlap: fragment A
+// covers [0,4) with 0x11s, fragment B covers [2,6) with 0x22s and ends
+// the datagram — bytes [2,4) disagree.
+func conflictPair() (Fragment, Fragment) {
+	a := Fragment{ID: 1, Offset: 0, More: true, Data: []byte{0x11, 0x11, 0x11, 0x11}}
+	b := Fragment{ID: 1, Offset: 2, More: false, Data: []byte{0x22, 0x22, 0x22, 0x22}}
+	return a, b
+}
+
+func TestOverlapFirstWins(t *testing.T) {
+	r := NewReassembler(1 << 16) // zero-value policy = first-wins
+	a, b := conflictPair()
+	if _, err := r.Add(a); err != nil {
+		t.Fatal(err)
+	}
+	out, err := r.Add(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0x11, 0x11, 0x11, 0x11, 0x22, 0x22}
+	if !bytes.Equal(out, want) {
+		t.Fatalf("first-wins datagram = %x, want %x", out, want)
+	}
+	if r.Conflicts() != 1 || r.Rejects() != 0 {
+		t.Fatalf("conflicts=%d rejects=%d", r.Conflicts(), r.Rejects())
+	}
+}
+
+func TestOverlapLastWins(t *testing.T) {
+	r := NewReassembler(1 << 16)
+	r.Policy = vr.LastWins
+	a, b := conflictPair()
+	_, _ = r.Add(a)
+	out, err := r.Add(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0x11, 0x11, 0x22, 0x22, 0x22, 0x22}
+	if !bytes.Equal(out, want) {
+		t.Fatalf("last-wins datagram = %x, want %x", out, want)
+	}
+	if r.Conflicts() != 1 {
+		t.Fatalf("conflicts = %d", r.Conflicts())
+	}
+}
+
+func TestOverlapReject(t *testing.T) {
+	for _, pol := range []vr.Policy{vr.RejectPDU, vr.RejectConnection} {
+		r := NewReassembler(1 << 16)
+		r.Policy = pol
+		a, b := conflictPair()
+		if _, err := r.Add(a); err != nil {
+			t.Fatal(err)
+		}
+		out, err := r.Add(b)
+		if !errors.Is(err, ErrConflictingOverlap) {
+			t.Fatalf("%v: want ErrConflictingOverlap, got %v", pol, err)
+		}
+		if out != nil {
+			t.Fatalf("%v: rejected add returned data", pol)
+		}
+		if r.Pending() != 0 || r.Used() != 0 {
+			t.Fatalf("%v: datagram not discarded: pending=%d used=%d", pol, r.Pending(), r.Used())
+		}
+		if r.Rejects() != 1 || r.Conflicts() != 1 {
+			t.Fatalf("%v: conflicts=%d rejects=%d", pol, r.Conflicts(), r.Rejects())
+		}
+		// The datagram can start over after the reject.
+		if _, err := r.Add(a); err != nil {
+			t.Fatalf("%v: restart after reject: %v", pol, err)
+		}
+	}
+}
+
+// TestOverlapIdenticalBytes: a byte-identical overlap is not a
+// conflict under any policy.
+func TestOverlapIdenticalBytes(t *testing.T) {
+	for _, pol := range []vr.Policy{vr.FirstWins, vr.LastWins, vr.RejectPDU, vr.RejectConnection} {
+		r := NewReassembler(1 << 16)
+		r.Policy = pol
+		if _, err := r.Add(Fragment{ID: 1, Offset: 0, More: true, Data: []byte{5, 6, 7, 8}}); err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		out, err := r.Add(Fragment{ID: 1, Offset: 2, More: false, Data: []byte{7, 8, 9, 10}})
+		if err != nil {
+			t.Fatalf("%v: identical overlap rejected: %v", pol, err)
+		}
+		if !bytes.Equal(out, []byte{5, 6, 7, 8, 9, 10}) {
+			t.Fatalf("%v: datagram = %v", pol, out)
+		}
+		if r.Conflicts() != 0 {
+			t.Fatalf("%v: spurious conflict", pol)
+		}
+	}
+}
+
+// TestOverlapSandwich: a late fragment bridging two buffered spans,
+// conflicting with both edges — two conflict runs in one Add, and the
+// first-wins result keeps both buffered edges.
+func TestOverlapSandwich(t *testing.T) {
+	r := NewReassembler(1 << 16)
+	_, _ = r.Add(Fragment{ID: 9, Offset: 0, More: true, Data: []byte{1, 1}})
+	_, _ = r.Add(Fragment{ID: 9, Offset: 4, More: false, Data: []byte{3, 3}})
+	// Bridges [0,6) with 9s: conflicts with [0,2) and [4,6), fills [2,4).
+	out, err := r.Add(Fragment{ID: 9, Offset: 0, More: true, Data: []byte{9, 9, 9, 9, 9, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{1, 1, 9, 9, 3, 3}
+	if !bytes.Equal(out, want) {
+		t.Fatalf("datagram = %v, want %v", out, want)
+	}
+	if r.Conflicts() != 2 {
+		t.Fatalf("conflicts = %d, want 2", r.Conflicts())
+	}
+}
+
+// FuzzReassemblerOverlap drives the policy code with arbitrary
+// two-fragment schedules, seeded with conflicting overlaps (same
+// offset range, different payload bytes) per the issue's satellite.
+func FuzzReassemblerOverlap(f *testing.F) {
+	// Exact conflicting overlap: same range, different bytes.
+	f.Add(uint8(0), uint32(0), []byte{1, 1, 1, 1}, uint32(0), []byte{2, 2, 2, 2})
+	f.Add(uint8(1), uint32(0), []byte{1, 1, 1, 1}, uint32(0), []byte{2, 2, 2, 2})
+	f.Add(uint8(2), uint32(0), []byte{1, 1, 1, 1}, uint32(0), []byte{2, 2, 2, 2})
+	f.Add(uint8(3), uint32(0), []byte{1, 1, 1, 1}, uint32(0), []byte{2, 2, 2, 2})
+	// Shifted partial conflict and a teardrop-style enclosure.
+	f.Add(uint8(0), uint32(0), []byte{1, 2, 3, 4, 5, 6}, uint32(2), []byte{9, 9})
+	f.Add(uint8(2), uint32(2), []byte{9, 9}, uint32(0), []byte{1, 2, 3, 4, 5, 6})
+	// Identical duplicate (must never conflict).
+	f.Add(uint8(3), uint32(4), []byte{7, 7, 7}, uint32(4), []byte{7, 7, 7})
+
+	f.Fuzz(func(t *testing.T, pol uint8, off1 uint32, d1 []byte, off2 uint32, d2 []byte) {
+		r := NewReassembler(1 << 16)
+		r.Policy = vr.Policy(pol % 4)
+		rejecting := r.Policy == vr.RejectPDU || r.Policy == vr.RejectConnection
+		for _, fr := range []Fragment{
+			{ID: 1, Offset: off1 % 4096, More: true, Data: d1},
+			{ID: 1, Offset: off2 % 4096, More: true, Data: d2},
+		} {
+			_, err := r.Add(fr)
+			switch {
+			case err == nil || errors.Is(err, ErrBufferFull):
+			case errors.Is(err, ErrConflictingOverlap):
+				if !rejecting {
+					t.Fatalf("policy %v returned %v", r.Policy, err)
+				}
+			default:
+				t.Fatalf("unexpected error %v", err)
+			}
+		}
+		if r.Used() < 0 {
+			t.Fatalf("Used = %d", r.Used())
+		}
+		if rejecting && r.Rejects() > 0 && r.Conflicts() == 0 {
+			t.Fatal("reject without a recorded conflict")
+		}
+	})
+}

@@ -1,0 +1,64 @@
+// Package overlapbad seeds the golden cases for the invariants the
+// overlap differential harness (internal/overlap) must keep: forged
+// schedule payloads drawn from a seeded source, and matrix accounting
+// that never leaks map iteration order into emitted rows.
+package overlapbad
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Forge mutates the forged copy with the global source: two runs of
+// the "same seeded schedule" would carry different attack bytes and
+// the recorded matrix would not reproduce.
+func Forge(genuine []byte) []byte {
+	d := append([]byte(nil), genuine...)
+	for i := range d {
+		d[i] ^= byte(1 + rand.Intn(255)) // want "detrand: math/rand\.Intn draws from the unseeded global source"
+	}
+	return d
+}
+
+// Emit reports the per-model finals in map order — matrix row order
+// would differ run to run.
+func Emit(finals map[string][]byte, emit func(string, []byte)) {
+	for name, final := range finals { // want "maprange: iteration order of map finals can leak into behavior"
+		emit(name, final)
+	}
+}
+
+// EmitSorted is the sanctioned shape: ordered names, map for lookup
+// only (exempt).
+func EmitSorted(finals map[string][]byte, emit func(string, []byte)) {
+	names := make([]string, 0, len(finals))
+	for name := range finals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		emit(name, finals[name])
+	}
+}
+
+// CountSmuggled is an order-free reduction (exempt) — the shape
+// internal/overlap uses to count distinct finals per schedule.
+func CountSmuggled(finals map[string]bool) int {
+	n := 0
+	for _, smuggled := range finals {
+		if smuggled {
+			n++
+		}
+	}
+	return n
+}
+
+// ForgeSeeded is the harness's actual idiom: every byte differs, every
+// draw comes from the caller's seeded source.
+func ForgeSeeded(rng *rand.Rand, genuine []byte) []byte {
+	d := append([]byte(nil), genuine...)
+	for i := range d {
+		d[i] ^= byte(1 + rng.Intn(255))
+	}
+	return d
+}

@@ -1,0 +1,428 @@
+// Package overlap is a differential reassembly harness for
+// conflicting-overlap ("overlap smuggling") attacks: identical seeded
+// delivery schedules — honest fragments interleaved with forged
+// fragments carrying different bytes for the same positions — are
+// replayed through this module's two reassemblers (vr virtual
+// reassembly and ipfrag physical reassembly, each under its explicit
+// overlap policies) and through byte-granularity models of the
+// resolution behaviors real OS stacks ship (the reassembly-gap
+// catalogues: first-wins Windows/Solaris style, last-wins Cisco style,
+// left-favoring BSD, right-favoring BSD variant, Linux tie-breaking).
+//
+// The harness records two things per (schedule, system) cell: whether
+// the system delivered forged bytes ("smuggled") or refused, and
+// whether the paper's WSC-2 end-to-end check flags the delivery. The
+// claim pinned by experiment O1 — Table 1 extended into adversarial
+// territory — is that detection is exact: every smuggled outcome any
+// policy admits mismatches the sender's parity, and no genuine
+// delivery does.
+package overlap
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"chunks/internal/ipfrag"
+	"chunks/internal/vr"
+	"chunks/internal/wsc"
+)
+
+// A Segment is one fragment delivery in a schedule: Data bytes placed
+// at stream offset Off. Forged segments are the attacker's copies —
+// bytes that differ from the genuine stream over the same positions.
+// Last marks the honest segment that carries the end-of-PDU signal
+// (ST bit for vr, cleared more-fragments for ipfrag); forged segments
+// never claim the end, matching what the chaos forger emits.
+type Segment struct {
+	Off    int
+	Data   []byte
+	Forged bool
+	Last   bool
+}
+
+// A Schedule is one seeded adversarial delivery sequence over a
+// genuine stream of Total bytes. The honest segments alone cover
+// [0, Total) and arrive with the end marker last, so every system
+// that does not reject completes reassembly.
+type Schedule struct {
+	Name    string
+	Total   int
+	Genuine []byte
+	Segs    []Segment
+}
+
+// builder assembles a schedule from honest and forged ranges.
+type builder struct {
+	s   Schedule
+	rng *rand.Rand
+}
+
+func newSchedule(name string, rng *rand.Rand, total int) *builder {
+	g := make([]byte, total)
+	rng.Read(g)
+	return &builder{s: Schedule{Name: name, Total: total, Genuine: g}, rng: rng}
+}
+
+func (b *builder) honest(lo, hi int) *builder {
+	b.s.Segs = append(b.s.Segs, Segment{
+		Off: lo, Data: b.s.Genuine[lo:hi], Last: hi == b.s.Total,
+	})
+	return b
+}
+
+// forged adds the attacker's copy of [lo, hi): every byte differs from
+// the genuine stream (a payload substitution), so any overlap with
+// accepted data is a conflict and never a mere duplicate.
+func (b *builder) forged(lo, hi int) *builder {
+	d := append([]byte(nil), b.s.Genuine[lo:hi]...)
+	for i := range d {
+		d[i] ^= byte(1 + b.rng.Intn(255))
+	}
+	b.s.Segs = append(b.s.Segs, Segment{Off: lo, Data: d, Forged: true})
+	return b
+}
+
+// Schedules returns the seeded attack catalogue. The named shapes are
+// the classic overlap-smuggling deliveries from the reassembly-gap
+// literature; the rand-N schedules add seeded breadth on top.
+func Schedules(seed int64) []Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	const total = 32
+	var out []Schedule
+	add := func(b *builder) { out = append(out, b.s) }
+
+	// The forged copy duplicates an already-accepted span exactly.
+	b := newSchedule("same-span-dup", rng, total)
+	add(b.honest(0, 16).forged(0, 16).honest(16, 32))
+
+	// The forgery races ahead of the honest copy (what the chaos
+	// relay's ForgeOverlap fault does): first-wins systems keep it.
+	b = newSchedule("forged-first", rng, total)
+	add(b.forged(8, 16).honest(0, 16).honest(16, 32))
+
+	// The forgery overlaps the tail of accepted data and pre-claims
+	// bytes no honest fragment has delivered yet.
+	b = newSchedule("forward-shift", rng, total)
+	add(b.honest(0, 16).forged(12, 24).honest(16, 32))
+
+	// Teardrop: the forgery is fully enclosed by an accepted span.
+	b = newSchedule("teardrop", rng, total)
+	add(b.honest(0, 16).forged(4, 12).honest(16, 32))
+
+	// The forgery begins before the fragment it overlaps — the shape
+	// that splits left-favoring stacks (BSD/Linux take the head) from
+	// strict first-wins ones.
+	b = newSchedule("head-smuggle", rng, total)
+	add(b.honest(8, 16).forged(0, 12).honest(0, 8).honest(16, 32))
+
+	// The forgery begins inside accepted data and runs past it — the
+	// mirror shape that right-favoring stacks accept.
+	b = newSchedule("tail-smuggle", rng, total)
+	add(b.honest(0, 8).forged(4, 12).honest(8, 32))
+
+	// Same offset, same length: the pure tie-break probe (BSD keeps
+	// the original, Linux takes the replacement).
+	b = newSchedule("tie-break", rng, total)
+	add(b.honest(0, 8).forged(0, 8).honest(8, 32))
+
+	// Seeded random shapes: honest coverage in three pieces with 1–3
+	// forged overlaps thrown anywhere before the honest tail.
+	for i := 0; i < 3; i++ {
+		b = newSchedule(fmt.Sprintf("rand-%d", i), rng, total)
+		cut1 := 8 + rng.Intn(8)
+		cut2 := 16 + rng.Intn(8)
+		b.honest(0, cut1).honest(cut1, cut2)
+		for j, n := 0, 1+rng.Intn(3); j < n; j++ {
+			lo := rng.Intn(cut2 - 2)
+			hi := lo + 2 + rng.Intn(total-lo-2)
+			b.forged(lo, hi)
+		}
+		add(b.honest(cut2, total))
+	}
+	return out
+}
+
+// An OSModel is a byte-granularity model of one resolution behavior
+// the reassembly-gap catalogues attribute to shipping stacks. Models
+// never reject: they always deliver something, which is exactly why
+// conflicting overlaps smuggle data through them.
+type OSModel uint8
+
+const (
+	// ModelFirst keeps the first writer of every byte (Windows,
+	// Solaris style) — also this module's FirstWins.
+	ModelFirst OSModel = iota
+	// ModelLast keeps the last writer (Cisco IOS style).
+	ModelLast
+	// ModelBSD is left-favoring: the fragment with the lower offset
+	// owns the overlap; ties keep the original.
+	ModelBSD
+	// ModelBSDRight is right-favoring: the fragment with the higher
+	// offset owns the overlap; ties take the new fragment.
+	ModelBSDRight
+	// ModelLinux is left-favoring like BSD but ties take the new
+	// fragment — the classic BSD/Linux disagreement.
+	ModelLinux
+)
+
+func (m OSModel) String() string {
+	switch m {
+	case ModelFirst:
+		return "os-first"
+	case ModelLast:
+		return "os-last"
+	case ModelBSD:
+		return "os-bsd"
+	case ModelBSDRight:
+		return "os-bsdright"
+	case ModelLinux:
+		return "os-linux"
+	}
+	return "os-?"
+}
+
+// OSModels lists the modeled stacks in matrix order.
+func OSModels() []OSModel {
+	return []OSModel{ModelFirst, ModelLast, ModelBSD, ModelBSDRight, ModelLinux}
+}
+
+// wins reports whether an incoming fragment starting at newOff takes a
+// byte currently owned by a fragment starting at oldOff.
+func (m OSModel) wins(newOff, oldOff int) bool {
+	switch m {
+	case ModelLast:
+		return true
+	case ModelBSD:
+		return newOff < oldOff
+	case ModelBSDRight:
+		return newOff >= oldOff
+	case ModelLinux:
+		return newOff <= oldOff
+	}
+	return false // ModelFirst
+}
+
+// ReplayModel runs one schedule through one OS model and returns the
+// delivered stream.
+func ReplayModel(s Schedule, m OSModel) []byte {
+	buf := make([]byte, s.Total)
+	owner := make([]int, s.Total) // fragment offset owning each byte
+	for i := range owner {
+		owner[i] = -1
+	}
+	for _, seg := range s.Segs {
+		for i, by := range seg.Data {
+			pos := seg.Off + i
+			if pos >= s.Total {
+				break
+			}
+			if owner[pos] < 0 || m.wins(seg.Off, owner[pos]) {
+				buf[pos] = by
+				owner[pos] = seg.Off
+			}
+		}
+	}
+	return buf
+}
+
+// An Outcome is what one reassembler delivered for one schedule.
+type Outcome struct {
+	// Final is the delivered stream; nil when the schedule was
+	// rejected before completing.
+	Final []byte
+	// Rejected reports that a rejecting policy abandoned the PDU.
+	Rejected bool
+	// Conflicts counts the conflicting-overlap runs the reassembler
+	// observed along the way.
+	Conflicts int
+}
+
+// ReplayVR runs one schedule through virtual reassembly (one byte per
+// element) under the given policy, applying placement the way the real
+// receiver does: fresh intervals are placed as they arrive, and under
+// LastWins the conflicting intervals are re-placed with the new bytes.
+func ReplayVR(s Schedule, pol vr.Policy) (Outcome, error) {
+	var p vr.PDU
+	buf := make([]byte, s.Total)
+	view := func(iv vr.Interval) []byte {
+		if iv.Hi > uint64(s.Total) {
+			return nil
+		}
+		return buf[iv.Lo:iv.Hi]
+	}
+	var out Outcome
+	for _, seg := range s.Segs {
+		off := uint64(seg.Off)
+		fresh, conf, err := p.AddChecked(off, uint64(len(seg.Data)), seg.Last, pol, seg.Data, 1, view)
+		out.Conflicts += len(conf)
+		if err != nil {
+			if errors.Is(err, vr.ErrConflictingData) {
+				out.Rejected = true
+				return out, nil
+			}
+			return out, fmt.Errorf("overlap: vr replay of %s: %w", s.Name, err)
+		}
+		for _, iv := range fresh {
+			copy(buf[iv.Lo:iv.Hi], seg.Data[iv.Lo-off:iv.Hi-off])
+		}
+		if pol == vr.LastWins {
+			for _, iv := range conf {
+				copy(buf[iv.Lo:iv.Hi], seg.Data[iv.Lo-off:iv.Hi-off])
+			}
+		}
+	}
+	if !p.Complete() {
+		return out, fmt.Errorf("overlap: vr replay of %s did not complete", s.Name)
+	}
+	out.Final = buf
+	return out, nil
+}
+
+// ReplayIPFrag runs one schedule through the ipfrag reassembler under
+// the given policy.
+func ReplayIPFrag(s Schedule, pol vr.Policy) (Outcome, error) {
+	r := ipfrag.NewReassembler(0)
+	r.Policy = pol
+	var out Outcome
+	for _, seg := range s.Segs {
+		done, err := r.Add(ipfrag.Fragment{
+			ID: 1, Offset: uint32(seg.Off), More: !seg.Last, Data: seg.Data,
+		})
+		if err != nil {
+			if errors.Is(err, ipfrag.ErrConflictingOverlap) {
+				out.Rejected = true
+				out.Conflicts = r.Conflicts()
+				return out, nil
+			}
+			return out, fmt.Errorf("overlap: ipfrag replay of %s: %w", s.Name, err)
+		}
+		if done != nil && out.Final == nil {
+			out.Final = append([]byte(nil), done...)
+		}
+	}
+	out.Conflicts = r.Conflicts()
+	if out.Final == nil {
+		return out, fmt.Errorf("overlap: ipfrag replay of %s did not complete", s.Name)
+	}
+	return out, nil
+}
+
+// Cell outcomes.
+const (
+	// OutcomeGenuine: the system delivered exactly the honest stream.
+	OutcomeGenuine = "genuine"
+	// OutcomeSmuggled: the system delivered forged bytes.
+	OutcomeSmuggled = "smuggled"
+	// OutcomeRejected: a rejecting policy refused to deliver.
+	OutcomeRejected = "rejected"
+)
+
+// A Cell is one (schedule, system) entry of the differential matrix.
+type Cell struct {
+	Schedule string `json:"schedule"`
+	System   string `json:"system"`
+	Outcome  string `json:"outcome"`
+	Smuggled bool   `json:"smuggled"`
+	// Detected reports that the WSC-2 parity of the delivered stream
+	// differs from the sender's parity of the genuine stream — the
+	// end-to-end check firing. Always false for rejected cells
+	// (nothing was delivered to check).
+	Detected bool `json:"wsc2_detected"`
+}
+
+// A Summary is the full matrix plus the aggregates experiment O1
+// reports and the acceptance tests pin.
+type Summary struct {
+	Seed      int64 `json:"seed"`
+	Schedules int   `json:"schedules"`
+	Systems   int   `json:"systems"`
+	Delivered int   `json:"delivered"`
+	Rejected  int   `json:"rejected"`
+	Smuggled  int   `json:"smuggled"`
+	Detected  int   `json:"detected"`
+	// DetectionRate is Detected/Smuggled — the pinned claim is 1.0.
+	DetectionRate float64 `json:"detection_rate"`
+	// DisagreeSchedules counts schedules on which at least two OS
+	// models deliver different streams — the reassembly gap itself.
+	DisagreeSchedules int    `json:"model_disagreement_schedules"`
+	Cells             []Cell `json:"matrix"`
+}
+
+// Policies lists the vr/ipfrag policies the matrix exercises.
+// RejectConnection is omitted: at the reassembly layer it behaves
+// exactly like RejectPDU (the difference — tearing the connection down
+// — lives in transport/core and is exercised by the chaos tests).
+func Policies() []vr.Policy {
+	return []vr.Policy{vr.FirstWins, vr.LastWins, vr.RejectPDU}
+}
+
+// Run replays every schedule through every system and returns the
+// matrix with its aggregates. Deterministic in seed.
+func Run(seed int64) (*Summary, error) {
+	sum := &Summary{Seed: seed}
+	for _, s := range Schedules(seed) {
+		sum.Schedules++
+		genuine, err := wsc.EncodeBytes(s.Genuine)
+		if err != nil {
+			return nil, err
+		}
+		record := func(system string, final []byte, rejected bool) error {
+			c := Cell{Schedule: s.Name, System: system, Outcome: OutcomeRejected}
+			if rejected {
+				sum.Rejected++
+			} else {
+				sum.Delivered++
+				par, err := wsc.EncodeBytes(final)
+				if err != nil {
+					return err
+				}
+				c.Smuggled = !bytes.Equal(final, s.Genuine)
+				c.Detected = !wsc.Verify(par, genuine)
+				c.Outcome = OutcomeGenuine
+				if c.Smuggled {
+					c.Outcome = OutcomeSmuggled
+					sum.Smuggled++
+				}
+				if c.Detected {
+					sum.Detected++
+				}
+			}
+			sum.Cells = append(sum.Cells, c)
+			return nil
+		}
+		for _, pol := range Policies() {
+			o, err := ReplayVR(s, pol)
+			if err != nil {
+				return nil, err
+			}
+			if err := record("vr/"+pol.String(), o.Final, o.Rejected); err != nil {
+				return nil, err
+			}
+			o, err = ReplayIPFrag(s, pol)
+			if err != nil {
+				return nil, err
+			}
+			if err := record("ipfrag/"+pol.String(), o.Final, o.Rejected); err != nil {
+				return nil, err
+			}
+		}
+		finals := make(map[string]struct{})
+		for _, m := range OSModels() {
+			final := ReplayModel(s, m)
+			finals[string(final)] = struct{}{}
+			if err := record(m.String(), final, false); err != nil {
+				return nil, err
+			}
+		}
+		if len(finals) > 1 {
+			sum.DisagreeSchedules++
+		}
+	}
+	sum.Systems = 2*len(Policies()) + len(OSModels())
+	if sum.Smuggled > 0 {
+		sum.DetectionRate = float64(sum.Detected) / float64(sum.Smuggled)
+	}
+	return sum, nil
+}

@@ -1,0 +1,264 @@
+package overlap
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"chunks/internal/vr"
+)
+
+const testSeed = 1
+
+// TestSchedulesWellFormed: honest segments cover the stream and end
+// with the end marker; forged segments stay in bounds and differ from
+// the genuine stream in every byte (substitutions, never duplicates).
+func TestSchedulesWellFormed(t *testing.T) {
+	scheds := Schedules(testSeed)
+	if len(scheds) == 0 {
+		t.Fatal("empty catalogue")
+	}
+	for _, s := range scheds {
+		if len(s.Genuine) != s.Total {
+			t.Fatalf("%s: genuine len %d != total %d", s.Name, len(s.Genuine), s.Total)
+		}
+		var cover vr.IntervalSet
+		sawForged := false
+		for i, seg := range s.Segs {
+			if seg.Off < 0 || seg.Off+len(seg.Data) > s.Total {
+				t.Fatalf("%s: segment %d out of bounds", s.Name, i)
+			}
+			if seg.Forged {
+				sawForged = true
+				if seg.Last {
+					t.Fatalf("%s: forged segment %d claims the end", s.Name, i)
+				}
+				for j, by := range seg.Data {
+					if by == s.Genuine[seg.Off+j] {
+						t.Fatalf("%s: forged segment %d agrees with genuine at %d", s.Name, i, seg.Off+j)
+					}
+				}
+				continue
+			}
+			if !bytes.Equal(seg.Data, s.Genuine[seg.Off:seg.Off+len(seg.Data)]) {
+				t.Fatalf("%s: honest segment %d does not carry genuine bytes", s.Name, i)
+			}
+			cover.Add(uint64(seg.Off), uint64(seg.Off+len(seg.Data)))
+		}
+		if !sawForged {
+			t.Fatalf("%s: no forged segment", s.Name)
+		}
+		if !cover.Covered(0, uint64(s.Total)) {
+			t.Fatalf("%s: honest segments do not cover the stream", s.Name)
+		}
+		if last := s.Segs[len(s.Segs)-1]; !last.Last || last.Forged {
+			t.Fatalf("%s: schedule does not end with the honest tail", s.Name)
+		}
+	}
+}
+
+// TestRunExactDetection pins the acceptance claim — Table 1 extended
+// into adversarial territory. For every delivered cell the WSC-2
+// end-to-end check fires exactly when forged bytes were smuggled:
+// detection rate 1.0 over smuggled outcomes, zero false alarms over
+// genuine ones. Rejecting policies never deliver forged bytes at all.
+func TestRunExactDetection(t *testing.T) {
+	sum, err := Run(testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Smuggled == 0 {
+		t.Fatal("catalogue produced no smuggled outcome; the matrix proves nothing")
+	}
+	for _, c := range sum.Cells {
+		if c.Outcome == OutcomeRejected {
+			if c.Smuggled || c.Detected {
+				t.Fatalf("%s/%s: rejected cell carries smuggled=%v detected=%v", c.Schedule, c.System, c.Smuggled, c.Detected)
+			}
+			continue
+		}
+		if c.Smuggled != c.Detected {
+			t.Fatalf("%s/%s: smuggled=%v but detected=%v — WSC-2 must flag exactly the smuggled deliveries",
+				c.Schedule, c.System, c.Smuggled, c.Detected)
+		}
+	}
+	if sum.DetectionRate != 1.0 {
+		t.Fatalf("detection rate %v, want 1.0", sum.DetectionRate)
+	}
+	if sum.Detected != sum.Smuggled {
+		t.Fatalf("detected %d != smuggled %d", sum.Detected, sum.Smuggled)
+	}
+	if sum.Delivered+sum.Rejected != len(sum.Cells) {
+		t.Fatalf("delivered %d + rejected %d != %d cells", sum.Delivered, sum.Rejected, len(sum.Cells))
+	}
+}
+
+// TestRejectingPoliciesRejectEverySchedule: every catalogue schedule
+// carries a genuine conflict, so reject-pdu refuses all of them in
+// both reassemblers — the conservative end of the policy space.
+func TestRejectingPoliciesRejectEverySchedule(t *testing.T) {
+	for _, s := range Schedules(testSeed) {
+		o, err := ReplayVR(s, vr.RejectPDU)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !o.Rejected {
+			t.Fatalf("%s: vr reject-pdu delivered", s.Name)
+		}
+		o, err = ReplayIPFrag(s, vr.RejectPDU)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !o.Rejected {
+			t.Fatalf("%s: ipfrag reject-pdu delivered", s.Name)
+		}
+	}
+}
+
+// TestVRAgreesWithIPFrag is the differential pin: the two reassemblers
+// implement the same policies over different machinery (interval
+// tracking + caller-owned bytes vs a physical buffer) and must agree
+// cell for cell.
+func TestVRAgreesWithIPFrag(t *testing.T) {
+	for _, s := range Schedules(testSeed) {
+		for _, pol := range Policies() {
+			a, err := ReplayVR(s, pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := ReplayIPFrag(s, pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Rejected != b.Rejected {
+				t.Fatalf("%s/%v: vr rejected=%v, ipfrag rejected=%v", s.Name, pol, a.Rejected, b.Rejected)
+			}
+			if !bytes.Equal(a.Final, b.Final) {
+				t.Fatalf("%s/%v: vr delivered %x, ipfrag delivered %x", s.Name, pol, a.Final, b.Final)
+			}
+		}
+	}
+}
+
+// TestPolicyModelCorrespondence: vr under FirstWins/LastWins must
+// deliver byte-for-byte what the corresponding OS models deliver.
+func TestPolicyModelCorrespondence(t *testing.T) {
+	for _, s := range Schedules(testSeed) {
+		first, err := ReplayVR(s, vr.FirstWins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Final, ReplayModel(s, ModelFirst)) {
+			t.Fatalf("%s: vr first-wins disagrees with os-first", s.Name)
+		}
+		last, err := ReplayVR(s, vr.LastWins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(last.Final, ReplayModel(s, ModelLast)) {
+			t.Fatalf("%s: vr last-wins disagrees with os-last", s.Name)
+		}
+	}
+}
+
+// TestModelsPairwiseDistinct: the catalogue separates every pair of
+// modeled stacks — for each pair there is at least one schedule on
+// which they deliver different streams. This is the reassembly gap the
+// papers document, reproduced end to end.
+func TestModelsPairwiseDistinct(t *testing.T) {
+	scheds := Schedules(testSeed)
+	models := OSModels()
+	for i := 0; i < len(models); i++ {
+		for j := i + 1; j < len(models); j++ {
+			split := ""
+			for _, s := range scheds {
+				if !bytes.Equal(ReplayModel(s, models[i]), ReplayModel(s, models[j])) {
+					split = s.Name
+					break
+				}
+			}
+			if split == "" {
+				t.Errorf("no schedule separates %v from %v", models[i], models[j])
+			}
+		}
+	}
+}
+
+// TestTieBreakSplitsBSDFromLinux pins the canonical disagreement: an
+// exact-duplicate forgery is kept by BSD (tie keeps the original) and
+// taken by Linux (tie takes the replacement).
+func TestTieBreakSplitsBSDFromLinux(t *testing.T) {
+	for _, s := range Schedules(testSeed) {
+		if s.Name != "tie-break" {
+			continue
+		}
+		bsd := ReplayModel(s, ModelBSD)
+		linux := ReplayModel(s, ModelLinux)
+		if !bytes.Equal(bsd, s.Genuine) {
+			t.Fatal("os-bsd must keep the original on a tie")
+		}
+		if bytes.Equal(linux, s.Genuine) {
+			t.Fatal("os-linux must take the forged copy on a tie")
+		}
+		return
+	}
+	t.Fatal("tie-break schedule missing from catalogue")
+}
+
+// TestRunDeterminism: the whole matrix is a pure function of the seed.
+func TestRunDeterminism(t *testing.T) {
+	a, err := Run(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Run(7) is not deterministic")
+	}
+	c, err := Run(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Cells, c.Cells) {
+		t.Fatal("different seeds produced identical matrices; seeding is broken")
+	}
+}
+
+// TestSummaryDisagreement: the aggregate the experiment reports must
+// show the gap (at least one schedule where modeled stacks disagree).
+func TestSummaryDisagreement(t *testing.T) {
+	sum, err := Run(testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.DisagreeSchedules < 1 {
+		t.Fatal("no model disagreement in the matrix")
+	}
+	if sum.Systems != 2*len(Policies())+len(OSModels()) {
+		t.Fatalf("systems = %d", sum.Systems)
+	}
+	if want := sum.Schedules * sum.Systems; len(sum.Cells) != want {
+		t.Fatalf("%d cells, want %d", len(sum.Cells), want)
+	}
+}
+
+func TestOSModelString(t *testing.T) {
+	for _, m := range OSModels() {
+		if s := m.String(); s == "os-?" || s == "" {
+			t.Fatalf("model %d has no name", m)
+		}
+	}
+	if OSModel(99).String() != "os-?" {
+		t.Fatal("unknown model must stringify as os-?")
+	}
+}
+
+func ExampleRun() {
+	sum, _ := Run(1)
+	fmt.Printf("detection %.1f over %d smuggled outcomes\n", sum.DetectionRate, sum.Smuggled)
+	// Output: detection 1.0 over 71 smuggled outcomes
+}

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -28,6 +29,16 @@ type ReceiverConfig struct {
 	// identifies exactly one corrupted data symbol, avoiding a
 	// retransmission round trip (extension; see errdet.Repair).
 	Repair bool
+	// OverlapPolicy selects what T-level virtual reassembly does with a
+	// duplicate interval whose bytes differ from those already placed
+	// (a conflicting overlap — the overlap-smuggling vector). The zero
+	// value vr.FirstWins keeps the first-placed bytes (the paper's
+	// Section 3.3 duplicate rule); vr.LastWins replaces bytes and
+	// parity contribution together; vr.RejectPDU abandons the TPDU so
+	// retransmissions rebuild it; vr.RejectConnection makes HandleChunk
+	// return ErrConnectionRejected and the receiver refuse all further
+	// input.
+	OverlapPolicy vr.Policy
 	// ReapAfter, when > 0, bounds the memory a lossy or dead peer can
 	// pin in this receiver: an incomplete TPDU that makes no
 	// reassembly progress for ReapAfter consecutive Poll rounds has
@@ -54,6 +65,7 @@ type Receiver struct {
 	elemSize uint16
 	opened   bool
 	closed   bool
+	rejected bool // vr.RejectConnection tripped; all input refused
 	finalCSN uint64
 
 	// stream is the application address space, placed by C.SN.
@@ -131,7 +143,7 @@ func NewReceiver(cfg ReceiverConfig, out func([]byte)) (*Receiver, error) {
 		return nil, err
 	}
 	ed.SetTelemetry(cfg.Tel)
-	return &Receiver{
+	r := &Receiver{
 		cfg:       cfg,
 		out:       out,
 		ed:        ed,
@@ -147,7 +159,30 @@ func NewReceiver(cfg ReceiverConfig, out func([]byte)) (*Receiver, error) {
 		verdicted: make(map[uint32]bool),
 		pack:      packet.Packer{MTU: cfg.MTU},
 		tel:       newRecvTel(cfg.Tel),
-	}, nil
+	}
+	// The stream IS the prior-bytes view conflict detection needs:
+	// virtual reassembly keeps no payload, so the placer lends its own.
+	ed.SetOverlapPolicy(cfg.OverlapPolicy, r.priorBytes)
+	return r, nil
+}
+
+// ErrConnectionRejected reports a conflicting overlap under
+// vr.RejectConnection: the connection is dead and the caller (e.g. the
+// core server) should tear it down.
+var ErrConnectionRejected = fmt.Errorf("transport: conflicting overlap: connection rejected")
+
+// Rejected reports whether the vr.RejectConnection policy tripped.
+func (r *Receiver) Rejected() bool { return r.rejected }
+
+// priorBytes returns the placed stream bytes for connection-stream
+// elements [iv.Lo, iv.Hi), or nil when the range was never placed.
+func (r *Receiver) priorBytes(iv vr.Interval) []byte {
+	es := uint64(r.size())
+	lo, hi := iv.Lo*es, iv.Hi*es
+	if hi > uint64(len(r.stream)) || lo > hi {
+		return nil
+	}
+	return r.stream[lo:hi]
 }
 
 // HandlePacket ingests one received datagram.
@@ -169,6 +204,9 @@ func (r *Receiver) HandlePacket(data []byte) error {
 // by C.ID and source address) decode the packet once and route each
 // chunk here; single-connection callers use HandlePacket.
 func (r *Receiver) HandleChunk(c *chunk.Chunk) error {
+	if r.rejected {
+		return ErrConnectionRejected
+	}
 	switch c.Type {
 	case chunk.TypeSignal:
 		sig, err := ParseSignal(c)
@@ -194,14 +232,31 @@ func (r *Receiver) HandleChunk(c *chunk.Chunk) error {
 		r.tel.ring.Record(telemetry.EvReceived, c.C.ID, c.T.ID, c.T.SN, int64(c.Len))
 		// Verification first: only FRESH, check-accepted element
 		// ranges are placed, so a corrupted duplicate can never
-		// overwrite good data (Section 3.3's duplicate rule).
-		fresh, err := r.ed.IngestFresh(c)
+		// overwrite good data (Section 3.3's duplicate rule) — except
+		// under vr.LastWins, where the verifier hands back the
+		// conflicting intervals to overwrite after swapping their
+		// parity contribution.
+		fresh, replace, err := r.ed.IngestPlaced(c)
 		if err != nil {
+			if errors.Is(err, vr.ErrConflictingData) {
+				// The rejection is already a finding (and counted);
+				// only vr.RejectConnection escalates past this chunk.
+				if r.cfg.OverlapPolicy == vr.RejectConnection {
+					r.rejected = true
+					return ErrConnectionRejected
+				}
+				r.seen(c.T.ID)
+				return nil
+			}
 			return err
 		}
 		for _, iv := range fresh {
 			r.place(c, iv.Lo, iv.Hi)
 			r.tel.placed.Add(int64((iv.Hi - iv.Lo) * uint64(c.Size)))
+			r.tel.ring.Record(telemetry.EvPlaced, c.C.ID, c.T.ID, iv.Lo, int64(iv.Hi-iv.Lo))
+		}
+		for _, iv := range replace {
+			r.place(c, iv.Lo, iv.Hi)
 			r.tel.ring.Record(telemetry.EvPlaced, c.C.ID, c.T.ID, iv.Lo, int64(iv.Hi-iv.Lo))
 		}
 		r.seen(c.T.ID)

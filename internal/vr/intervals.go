@@ -79,6 +79,35 @@ func (s *IntervalSet) Add(lo, hi uint64) []Interval {
 	return fresh
 }
 
+// Overlap returns the sub-intervals of [lo, hi) that are already
+// present in the set — the duplicate portions of an incoming range,
+// the complement of what Add would report as fresh. Conflict-policy
+// callers compare these spans byte-for-byte against the previously
+// accepted payload.
+func (s *IntervalSet) Overlap(lo, hi uint64) []Interval {
+	if lo >= hi {
+		return nil
+	}
+	var out []Interval
+	for _, iv := range s.ivs {
+		if iv.Lo >= hi {
+			break
+		}
+		if iv.Hi <= lo {
+			continue
+		}
+		olo, ohi := iv.Lo, iv.Hi
+		if olo < lo {
+			olo = lo
+		}
+		if ohi > hi {
+			ohi = hi
+		}
+		out = append(out, Interval{olo, ohi})
+	}
+	return out
+}
+
 // Contains reports whether position sn is present.
 func (s *IntervalSet) Contains(sn uint64) bool {
 	for _, iv := range s.ivs {

@@ -1,0 +1,278 @@
+package vr
+
+import (
+	"errors"
+	"testing"
+)
+
+// byteStore is a minimal payload owner for AddChecked tests: it keeps
+// one byte per element, as a receiver's reassembly buffer would.
+type byteStore struct {
+	buf  []byte
+	have IntervalSet // mirror of what was accepted, for sanity only
+}
+
+func (b *byteStore) place(iv Interval, data []byte) {
+	for int(iv.Hi) > len(b.buf) {
+		b.buf = append(b.buf, 0)
+	}
+	copy(b.buf[iv.Lo:iv.Hi], data)
+	b.have.Add(iv.Lo, iv.Hi)
+}
+
+func (b *byteStore) view(iv Interval) []byte {
+	if int(iv.Hi) > len(b.buf) {
+		return nil
+	}
+	return b.buf[iv.Lo:iv.Hi]
+}
+
+// addBytes runs AddChecked with one byte per element and applies the
+// policy's placement effects the way a real receiver would: fresh
+// intervals are always placed; under LastWins conflicting intervals
+// are re-placed with the new bytes.
+func addBytes(p *PDU, st *byteStore, sn uint64, data []byte, fin bool, pol Policy) (fresh, conflicts []Interval, err error) {
+	fresh, conflicts, err = p.AddChecked(sn, uint64(len(data)), fin, pol, data, 1, st.view)
+	if err != nil {
+		return fresh, conflicts, err
+	}
+	for _, iv := range fresh {
+		st.place(iv, data[iv.Lo-sn:iv.Hi-sn])
+	}
+	if pol == LastWins {
+		for _, iv := range conflicts {
+			st.place(iv, data[iv.Lo-sn:iv.Hi-sn])
+		}
+	}
+	return fresh, conflicts, err
+}
+
+// TestTrackerConflictingEnd pins ErrConflictingEnd at the Tracker
+// level: two chunks of the same PDU claiming different final elements
+// surface the error through Tracker.Add, not only PDU.Add.
+func TestTrackerConflictingEnd(t *testing.T) {
+	var tr Tracker
+	k := Key{LevelT, 7}
+	if _, err := tr.Add(k, 0, 4, true); err != nil { // end = 4
+		t.Fatal(err)
+	}
+	if _, err := tr.Add(k, 4, 2, true); !errors.Is(err, ErrConflictingEnd) {
+		t.Fatalf("want ErrConflictingEnd, got %v", err)
+	}
+	// The PDU is still usable: the originally claimed end stands.
+	if !tr.Complete(k) {
+		t.Fatal("original end must stand after a conflicting claim")
+	}
+	// AddChecked surfaces the same error before any conflict check.
+	if _, _, err := tr.AddChecked(k, 5, 1, true, FirstWins, []byte{9}, 1, nil); !errors.Is(err, ErrConflictingEnd) {
+		t.Fatalf("AddChecked: want ErrConflictingEnd, got %v", err)
+	}
+}
+
+// TestAddCheckedIdenticalDuplicate: a retransmission carrying the same
+// bytes is a plain duplicate under every policy — no conflict, no
+// error, no fresh data.
+func TestAddCheckedIdenticalDuplicate(t *testing.T) {
+	for _, pol := range []Policy{FirstWins, LastWins, RejectPDU, RejectConnection} {
+		var p PDU
+		st := &byteStore{}
+		if _, _, err := addBytes(&p, st, 0, []byte{1, 2, 3, 4}, false, pol); err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		fresh, conflicts, err := addBytes(&p, st, 0, []byte{1, 2, 3, 4}, false, pol)
+		if err != nil || fresh != nil || conflicts != nil {
+			t.Fatalf("%v: identical dup: fresh=%v conflicts=%v err=%v", pol, fresh, conflicts, err)
+		}
+	}
+}
+
+// TestAddCheckedLateConflict is the satellite pin: a late duplicate
+// carrying different bytes, exercised under each policy.
+func TestAddCheckedLateConflict(t *testing.T) {
+	genuine := []byte{1, 2, 3, 4}
+	forged := []byte{1, 9, 9, 4} // elements 1,2 conflict
+
+	t.Run("first-wins", func(t *testing.T) {
+		var p PDU
+		st := &byteStore{}
+		_, _, _ = addBytes(&p, st, 0, genuine, false, FirstWins)
+		fresh, conflicts, err := addBytes(&p, st, 0, forged, false, FirstWins)
+		if err != nil || fresh != nil {
+			t.Fatalf("fresh=%v err=%v", fresh, err)
+		}
+		if len(conflicts) != 1 || conflicts[0] != (Interval{1, 3}) {
+			t.Fatalf("conflicts = %v, want [[1,3)]", conflicts)
+		}
+		if string(st.buf) != string(genuine) {
+			t.Fatalf("first-wins kept %v, want %v", st.buf, genuine)
+		}
+	})
+
+	t.Run("last-wins", func(t *testing.T) {
+		var p PDU
+		st := &byteStore{}
+		_, _, _ = addBytes(&p, st, 0, genuine, false, LastWins)
+		_, conflicts, err := addBytes(&p, st, 0, forged, false, LastWins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(conflicts) != 1 || conflicts[0] != (Interval{1, 3}) {
+			t.Fatalf("conflicts = %v", conflicts)
+		}
+		if string(st.buf) != string(forged) {
+			t.Fatalf("last-wins kept %v, want %v", st.buf, forged)
+		}
+	})
+
+	for _, pol := range []Policy{RejectPDU, RejectConnection} {
+		t.Run(pol.String(), func(t *testing.T) {
+			var p PDU
+			st := &byteStore{}
+			_, _, _ = addBytes(&p, st, 0, genuine, false, pol)
+			fresh, conflicts, err := addBytes(&p, st, 2, []byte{7, 7, 7}, false, pol) // [2,4) dup+conflict, [4,5) would be fresh
+			if !errors.Is(err, ErrConflictingData) {
+				t.Fatalf("want ErrConflictingData, got %v", err)
+			}
+			if fresh != nil {
+				t.Fatalf("reject must admit nothing, admitted %v", fresh)
+			}
+			if len(conflicts) != 1 || conflicts[0] != (Interval{2, 4}) {
+				t.Fatalf("conflicts = %v", conflicts)
+			}
+			// The reject aborted before mutating the set: [4,5) stays absent.
+			if p.set.Contains(4) {
+				t.Fatal("rejected add must not admit the fresh tail")
+			}
+			if string(st.buf) != string(genuine) {
+				t.Fatalf("buffer mutated to %v", st.buf)
+			}
+		})
+	}
+}
+
+// TestAddCheckedPartialOverlapConflict: a shifted duplicate where only
+// part of the range is dup, and only part of the dup disagrees.
+func TestAddCheckedPartialOverlapConflict(t *testing.T) {
+	var p PDU
+	st := &byteStore{}
+	_, _, _ = addBytes(&p, st, 0, []byte{1, 2, 3, 4}, false, FirstWins)
+	// [2,6): [2,4) dup — byte 2 agrees, byte 3 conflicts; [4,6) fresh.
+	fresh, conflicts, err := addBytes(&p, st, 2, []byte{3, 9, 5, 6}, false, FirstWins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh) != 1 || fresh[0] != (Interval{4, 6}) {
+		t.Fatalf("fresh = %v", fresh)
+	}
+	// Conflict detection is element-granular: only element 3 disagrees.
+	if len(conflicts) != 1 || conflicts[0] != (Interval{3, 4}) {
+		t.Fatalf("conflicts = %v", conflicts)
+	}
+	if string(st.buf) != string([]byte{1, 2, 3, 4, 5, 6}) {
+		t.Fatalf("buf = %v", st.buf)
+	}
+}
+
+// TestAddCheckedNilView: without a prior view (or payload) conflicts
+// are undetectable and AddChecked degrades to Add.
+func TestAddCheckedNilView(t *testing.T) {
+	var p PDU
+	_, _, _ = p.AddChecked(0, 4, false, RejectPDU, []byte{1, 2, 3, 4}, 1, nil)
+	fresh, conflicts, err := p.AddChecked(0, 4, false, RejectPDU, []byte{9, 9, 9, 9}, 1, nil)
+	if err != nil || fresh != nil || conflicts != nil {
+		t.Fatalf("nil view: fresh=%v conflicts=%v err=%v", fresh, conflicts, err)
+	}
+}
+
+// TestAddCheckedMultiByteElements: size > 1 — conflicts compare whole
+// element runs, with data offsets scaled by the element size.
+func TestAddCheckedMultiByteElements(t *testing.T) {
+	const size = 4
+	buf := make([]byte, 8*size)
+	view := func(iv Interval) []byte { return buf[iv.Lo*size : iv.Hi*size] }
+	var p PDU
+	first := []byte("AAAABBBBCCCC") // elements 0..2
+	fresh, _, err := p.AddChecked(0, 3, false, FirstWins, first, size, view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, iv := range fresh {
+		copy(buf[iv.Lo*size:], first[(iv.Lo)*size:(iv.Hi)*size])
+	}
+	// Element 1 differs in its third byte only.
+	dup := []byte("BBxBCCCCDDDD") // elements 1..3
+	fresh, conflicts, err := p.AddChecked(1, 3, false, FirstWins, dup, size, view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh) != 1 || fresh[0] != (Interval{3, 4}) {
+		t.Fatalf("fresh = %v", fresh)
+	}
+	if len(conflicts) != 1 || conflicts[0] != (Interval{1, 2}) {
+		t.Fatalf("conflicts = %v", conflicts)
+	}
+}
+
+// TestTrackerAddCheckedRetired: a conflicting late duplicate of a
+// retired PDU cannot be checked (bytes are gone) and reads as a plain
+// duplicate — the same contract as Tracker.Add.
+func TestTrackerAddCheckedRetired(t *testing.T) {
+	var tr Tracker
+	k := Key{LevelX, 3}
+	buf := []byte{1, 2, 3, 4}
+	view := func(iv Interval) []byte { return buf[iv.Lo:iv.Hi] }
+	if _, _, err := tr.AddChecked(k, 0, 4, true, RejectConnection, buf, 1, view); err != nil {
+		t.Fatal(err)
+	}
+	tr.Retire(k)
+	fresh, conflicts, err := tr.AddChecked(k, 0, 4, true, RejectConnection, []byte{9, 9, 9, 9}, 1, view)
+	if err != nil || fresh != nil || conflicts != nil {
+		t.Fatalf("retired: fresh=%v conflicts=%v err=%v", fresh, conflicts, err)
+	}
+}
+
+// TestIntervalSetOverlap pins the dup-span helper the conflict
+// detector is built on.
+func TestIntervalSetOverlap(t *testing.T) {
+	var s IntervalSet
+	s.Add(2, 5)
+	s.Add(8, 10)
+	cases := []struct {
+		lo, hi uint64
+		want   []Interval
+	}{
+		{0, 2, nil},
+		{0, 3, []Interval{{2, 3}}},
+		{2, 5, []Interval{{2, 5}}},
+		{4, 9, []Interval{{4, 5}, {8, 9}}},
+		{5, 8, nil},
+		{0, 12, []Interval{{2, 5}, {8, 10}}},
+		{3, 3, nil},
+	}
+	for _, c := range cases {
+		got := s.Overlap(c.lo, c.hi)
+		if len(got) != len(c.want) {
+			t.Fatalf("Overlap(%d,%d) = %v, want %v", c.lo, c.hi, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("Overlap(%d,%d) = %v, want %v", c.lo, c.hi, got, c.want)
+			}
+		}
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	want := map[Policy]string{
+		FirstWins:        "first-wins",
+		LastWins:         "last-wins",
+		RejectPDU:        "reject-pdu",
+		RejectConnection: "reject-conn",
+		Policy(99):       "policy?",
+	}
+	for pol, s := range want {
+		if pol.String() != s {
+			t.Fatalf("Policy(%d).String() = %q, want %q", pol, pol.String(), s)
+		}
+	}
+}

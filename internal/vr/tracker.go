@@ -30,6 +30,14 @@ var (
 	ErrConflictingEnd = errors.New("vr: conflicting PDU end")
 )
 
+func conflictEndErr(old, new uint64) error {
+	return fmt.Errorf("%w: %d then %d", ErrConflictingEnd, old, new)
+}
+
+func beyondEndErr(lo, hi, end uint64) error {
+	return fmt.Errorf("%w: [%d,%d) with end %d", ErrBeyondEnd, lo, hi, end)
+}
+
 // Add records a chunk covering elements [sn, sn+n) with st set if the
 // chunk's last element ends the PDU. It returns the fresh (previously
 // unseen) sub-intervals; duplicates return nil.
@@ -40,13 +48,13 @@ func (p *PDU) Add(sn, n uint64, st bool) ([]Interval, error) {
 	if st {
 		end := sn + n
 		if p.haveEnd && p.end != end {
-			return nil, fmt.Errorf("%w: %d then %d", ErrConflictingEnd, p.end, end)
+			return nil, conflictEndErr(p.end, end)
 		}
 		p.end = end
 		p.haveEnd = true
 	}
 	if p.haveEnd && sn+n > p.end {
-		return nil, fmt.Errorf("%w: [%d,%d) with end %d", ErrBeyondEnd, sn, sn+n, p.end)
+		return nil, beyondEndErr(sn, sn+n, p.end)
 	}
 	return p.set.Add(sn, sn+n), nil
 }
