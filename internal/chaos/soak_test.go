@@ -167,6 +167,11 @@ func runSoak(t *testing.T, tc soakCase) {
 		ReapAfter:     400,
 		OverlapPolicy: tc.policy,
 		Telemetry:     reg,
+		// The soak runs against an explicitly multi-shard engine: spoofed
+		// sources and the real connection land on different shards while
+		// every invariant below (byte-exact stream, coherent telemetry)
+		// must still hold.
+		Shards: 4,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -108,9 +108,40 @@ type Config struct {
 	// Telemetry, when set, receives the connection's runtime metrics
 	// and chunk-lifecycle events: a Dial side registers the scope
 	// "conn.<CID>", a Serve side registers "server" plus one
-	// "recv.<CID>@<addr>" scope per peer connection. nil disables
-	// instrumentation at no cost.
+	// "recv.shard<N>" aggregate scope per shard (or, with
+	// PerConnTelemetry, one "recv.<CID>@<addr>" scope per peer
+	// connection). nil disables instrumentation at no cost.
 	Telemetry *telemetry.Registry
+	// PerConnTelemetry opts the Serve side into one telemetry scope per
+	// peer connection instead of the per-shard aggregates. Scope count
+	// then grows with the connection count — useful for debugging, a
+	// memory leak at hundreds of thousands of connections (see C1).
+	PerConnTelemetry bool
+
+	// Shards is the Serve-side shard count for the connection engine
+	// (internal/shard); 0 means runtime.GOMAXPROCS(0). Any value yields
+	// identical protocol behavior — shards change only lock granularity
+	// and timer-wheel partitioning.
+	Shards int
+	// MaxConns, when > 0, bounds live server-side connections:
+	// establishment past the cap is refused (datagram dropped,
+	// "conns_refused" counted, OnConnRefused fired) instead of
+	// allocating receiver state for arbitrarily many spoofed
+	// (C.ID, source) identities.
+	MaxConns int
+	// OnConnRefused, when set on the Serve side, fires once per refused
+	// establishment with the identity that was turned away.
+	OnConnRefused func(cid uint32, peer net.Addr)
+	// Readers is the number of concurrent UDP read goroutines on the
+	// Serve side; 0 means 1. Useful with Shards > 1: independent
+	// readers keep multiple shards busy concurrently.
+	Readers int
+	// ControlOut, when set on the Serve side, replaces the UDP reverse
+	// path: outgoing control datagrams (ACK/NACK) are handed to the
+	// callback instead of the socket. In-process harnesses (experiment
+	// C1) pair it with Server.Inject to drive the engine without
+	// socket I/O.
+	ControlOut func(datagram []byte, peer *net.UDPAddr)
 }
 
 func (c *Config) fill() {

@@ -3,36 +3,24 @@ package core
 import (
 	"errors"
 	"fmt"
+	"log"
 	"net"
-	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"chunks/internal/errdet"
 	"chunks/internal/packet"
+	"chunks/internal/shard"
 	"chunks/internal/telemetry"
 	"chunks/internal/transport"
 )
-
-// connKey identifies one server-side connection: the connection ID
-// from the chunk labels AND the UDP source address it was established
-// from. Keying on both means a datagram from a different source — a
-// spoofed or stray sender reusing a live C.ID — lands in its own
-// isolated connection state and can never redirect the control
-// (ACK/NACK) path of the original peer.
-type connKey struct {
-	cid  uint32
-	addr string
-}
 
 // serverConn is the receive state of one peer connection.
 type serverConn struct {
 	r    *transport.Receiver
 	peer *net.UDPAddr // control destination, bound at establishment
 	cid  uint32
-
-	established int       // arrival order, for the primary accessors
-	lastActive  time.Time // last datagram seen (idle expiry)
 }
 
 // A Server is the receiving end of chunk connections over UDP. It
@@ -42,27 +30,38 @@ type serverConn struct {
 // address the connection was established from, and delivers frames
 // through the Config callbacks.
 //
+// Connections are demultiplexed over Config.Shards independent shards
+// (internal/shard), each with its own table, lock and timer wheel —
+// per-chunk self-description means no reassembly state is shared
+// across connections, so steady-state datagram handling touches
+// exactly one shard lock. Timer-driven work (receiver poll rounds,
+// idle expiry) runs off the shards' hierarchical timer wheels in O(1)
+// per tick instead of a per-tick scan of the whole connection table.
+//
 // The single-connection accessors (Stream, VerifiedCount, Closed,
 // Findings, WaitClosed) operate on the primary connection: the
 // earliest-established one still alive. Multi-peer callers use
 // StreamOf and ConnCount.
 type Server struct {
-	mu       sync.Mutex
 	cfg      Config
 	sock     *net.UDPConn
-	conns    map[connKey]*serverConn
-	seq      int
+	eng      *shard.Engine[*serverConn]
 	done     chan struct{}
 	shutOnce sync.Once
 	wg       sync.WaitGroup
 
-	expired  int // connections reaped by idle expiry
-	rejected int // connections torn down by vr.RejectConnection
+	idleTicks uint64
+	expired   atomic.Int64 // connections reaped by idle expiry
+	rejected  atomic.Int64 // connections torn down by vr.RejectConnection
+
+	shardSinks []telemetry.Sink // per-shard aggregate receiver sinks
 
 	telEstablished *telemetry.Counter
 	telExpired     *telemetry.Counter
 	telDatagrams   *telemetry.Counter
 	telRejected    *telemetry.Counter
+	telRefused     *telemetry.Counter
+	telSetupErr    *telemetry.Counter
 	telLive        *telemetry.Gauge
 	telRing        *telemetry.Ring
 }
@@ -83,17 +82,42 @@ func Serve(addr string, cfg Config) (*Server, error) {
 	_ = sock.SetWriteBuffer(4 << 20)
 	sink := cfg.Telemetry.Sink("server")
 	srv := &Server{
-		cfg:   cfg,
-		sock:  sock,
-		conns: make(map[connKey]*serverConn),
-		done:  make(chan struct{}),
+		cfg:  cfg,
+		sock: sock,
+		done: make(chan struct{}),
 
 		telEstablished: sink.Counter("conns_established"),
 		telExpired:     sink.Counter("conns_expired"),
 		telDatagrams:   sink.Counter("datagrams_in"),
 		telRejected:    sink.Counter("conns_rejected"),
+		telRefused:     sink.Counter("conns_refused"),
+		telSetupErr:    sink.Counter("conn_setup_errors"),
 		telLive:        sink.Gauge("conns_live"),
 		telRing:        sink.Ring,
+	}
+	if cfg.IdleTimeout > 0 {
+		// Idle expiry in whole ticks, rounded up: the effective lease
+		// stays within one PollEvery of the configured timeout, exactly
+		// the granularity the old per-tick wall-clock scan had.
+		srv.idleTicks = uint64((cfg.IdleTimeout + cfg.PollEvery - 1) / cfg.PollEvery)
+	}
+	srv.eng = shard.New(shard.Config[*serverConn]{
+		Shards:    cfg.Shards,
+		MaxConns:  cfg.MaxConns,
+		IdleTicks: srv.idleTicks,
+		Poll: func(_ shard.Key, c *serverConn) bool {
+			c.r.Poll()
+			return c.r.NeedsPoll()
+		},
+	})
+	// One aggregate receiver sink per shard: connection count no longer
+	// drives scope count (PerConnTelemetry opts back into per-conn
+	// scopes, at one scope per connection).
+	srv.shardSinks = make([]telemetry.Sink, srv.eng.ShardCount())
+	if !cfg.PerConnTelemetry {
+		for i := range srv.shardSinks {
+			srv.shardSinks[i] = cfg.Telemetry.Sink(fmt.Sprintf("recv.shard%d", i))
+		}
 	}
 	// Validate the receiver configuration once, up front, so Serve
 	// fails fast the way it used to instead of on the first datagram.
@@ -102,9 +126,15 @@ func Serve(addr string, cfg Config) (*Server, error) {
 		return nil, err
 	}
 
-	srv.wg.Add(2)
-	go srv.readLoop()
-	go srv.pollLoop()
+	readers := cfg.Readers
+	if readers <= 0 {
+		readers = 1
+	}
+	srv.wg.Add(readers + 1)
+	for i := 0; i < readers; i++ {
+		go srv.readLoop()
+	}
+	go srv.tickLoop()
 	return srv, nil
 }
 
@@ -119,33 +149,48 @@ func (s *Server) receiverConfig() transport.ReceiverConfig {
 	}
 }
 
-// conn returns the connection for (cid, from), establishing it on
-// first contact. Called with s.mu held.
-func (s *Server) conn(cid uint32, from *net.UDPAddr) *serverConn {
-	key := connKey{cid: cid, addr: from.String()}
-	if c, ok := s.conns[key]; ok {
-		return c
-	}
+// establish builds and admits the connection for key. Called with
+// key's shard locked. On admission refusal or setup failure it
+// returns nil and the reason; the caller drops the chunks and fires
+// any callback outside the lock.
+func (s *Server) establish(sh *shard.Shard[*serverConn], key shard.Key, from *net.UDPAddr) (*serverConn, error) {
 	peer := &net.UDPAddr{IP: append(net.IP(nil), from.IP...), Port: from.Port, Zone: from.Zone}
-	c := &serverConn{peer: peer, cid: cid, established: s.seq}
-	s.seq++
-	// The out callback captures the ESTABLISHMENT address: control
-	// always goes there, no matter who sent the datagram that
-	// triggered it.
-	cfg := s.receiverConfig()
-	cfg.Tel = s.cfg.Telemetry.Sink(fmt.Sprintf("recv.%d@%s", cid, key.addr))
-	r, err := transport.NewReceiver(cfg, func(d []byte) {
-		_, _ = s.sock.WriteToUDP(d, peer)
+	c, err := sh.Establish(key, func() (*serverConn, error) {
+		cfg := s.receiverConfig()
+		if s.cfg.PerConnTelemetry {
+			cfg.Tel = s.cfg.Telemetry.Sink(fmt.Sprintf("recv.%d@%s", key.CID, key.Addr))
+		} else {
+			cfg.Tel = s.shardSinks[s.eng.ShardIndex(key)]
+		}
+		// The out callback captures the ESTABLISHMENT address: control
+		// always goes there, no matter who sent the datagram that
+		// triggered it.
+		out := func(d []byte) { _, _ = s.sock.WriteToUDP(d, peer) }
+		if s.cfg.ControlOut != nil {
+			co := s.cfg.ControlOut
+			out = func(d []byte) { co(d, peer) }
+		}
+		r, err := transport.NewReceiver(cfg, out)
+		if err != nil {
+			return nil, err
+		}
+		return &serverConn{r: r, peer: peer, cid: key.CID}, nil
 	})
 	if err != nil {
-		// The config was validated in Serve; this cannot fail.
-		return nil
+		if errors.Is(err, shard.ErrMaxConns) {
+			s.telRefused.Inc()
+		} else {
+			// The config was validated in Serve; a failure here is an
+			// invariant violation, not a droppable datagram: make it
+			// loud instead of silently eating the peer's chunks.
+			s.telSetupErr.Inc()
+			log.Printf("core: invariant violation: receiver setup failed for conn %d@%s: %v", key.CID, key.Addr, err)
+		}
+		return nil, err
 	}
-	c.r = r
-	s.conns[key] = c
 	s.telEstablished.Inc()
-	s.telLive.Set(int64(len(s.conns)))
-	return c
+	s.telLive.Set(int64(s.eng.Live()))
+	return c, nil
 }
 
 func (s *Server) readLoop() {
@@ -162,51 +207,93 @@ func (s *Server) readLoop() {
 				continue
 			}
 		}
-		p, err := packet.Decode(buf[:n])
-		if err != nil {
-			continue // not a chunk packet; ignore
-		}
-		now := time.Now() //lint:allow detrand lastActive stamp feeds wall-clock idle expiry only
-		s.telDatagrams.Inc()
-		s.mu.Lock()
-		// Route each chunk to the (C.ID, source) connection. Packets
-		// are usually single-connection, so cache the last lookup.
-		var cur *serverConn
-		var curCID uint32
-		var droppedCID uint32
-		dropped := false
-		for i := range p.Chunks {
-			cid := p.Chunks[i].C.ID
-			if dropped && cid == droppedCID {
-				continue // connection torn down earlier in this packet
-			}
-			if cur == nil || cid != curCID {
-				cur, curCID = s.conn(cid, from), cid
-			}
-			if cur == nil {
-				continue
-			}
-			cur.lastActive = now
-			if err := cur.r.HandleChunk(&p.Chunks[i]); errors.Is(err, transport.ErrConnectionRejected) {
-				// The vr.RejectConnection overlap policy tripped: tear
-				// the connection down and drop the rest of the packet
-				// for it. A later packet re-establishes fresh state.
-				delete(s.conns, connKey{cid: curCID, addr: from.String()})
-				s.rejected++
-				s.telRejected.Inc()
-				s.telLive.Set(int64(len(s.conns)))
-				if s.cfg.OnConnRejected != nil {
-					s.cfg.OnConnRejected(curCID, cur.peer)
-				}
-				droppedCID, dropped = curCID, true
-				cur = nil
-			}
-		}
-		s.mu.Unlock()
+		s.Inject(buf[:n], from)
 	}
 }
 
-func (s *Server) pollLoop() {
+// Inject ingests one datagram as if it had arrived on the UDP socket
+// from the given source — the in-process ("pipe") ingestion path.
+// Safe for concurrent callers: each chunk is routed to its (C.ID,
+// source) connection's shard, and only that shard's lock is taken.
+// Experiment C1 and tests drive the sharded engine through Inject
+// without socket I/O; Config.ControlOut captures the reverse path.
+func (s *Server) Inject(datagram []byte, from *net.UDPAddr) {
+	p, err := packet.Decode(datagram)
+	if err != nil {
+		return // not a chunk packet; ignore
+	}
+	s.telDatagrams.Inc()
+	addr := from.String()
+
+	type connEvent struct {
+		cid  uint32
+		peer net.Addr
+		fire func(cid uint32, peer net.Addr)
+	}
+	var events []connEvent
+
+	// Route each chunk to the (C.ID, source) connection. Packets are
+	// usually single-connection, so handle runs of equal C.ID under
+	// one shard lock acquisition.
+	var droppedCID uint32
+	dropped := false
+	for i := 0; i < len(p.Chunks); {
+		cid := p.Chunks[i].C.ID
+		j := i + 1
+		for j < len(p.Chunks) && p.Chunks[j].C.ID == cid {
+			j++
+		}
+		if dropped && cid == droppedCID {
+			i = j
+			continue // connection torn down earlier in this packet
+		}
+		key := shard.Key{CID: cid, Addr: addr}
+		sh := s.eng.Shard(key)
+		sh.Lock()
+		c, ok := sh.Get(key)
+		if !ok {
+			var err error
+			if c, err = s.establish(sh, key, from); err != nil {
+				sh.Unlock()
+				if errors.Is(err, shard.ErrMaxConns) && s.cfg.OnConnRefused != nil {
+					events = append(events, connEvent{cid: cid, peer: from, fire: s.cfg.OnConnRefused})
+				}
+				i = j
+				continue
+			}
+		}
+		sh.Touch(key)
+		for ; i < j; i++ {
+			if err := c.r.HandleChunk(&p.Chunks[i]); errors.Is(err, transport.ErrConnectionRejected) {
+				// The vr.RejectConnection overlap policy tripped: tear
+				// the connection down and drop the rest of the packet
+				// for it. A later packet re-establishes fresh state.
+				sh.Remove(key)
+				s.rejected.Add(1)
+				s.telRejected.Inc()
+				s.telLive.Set(int64(s.eng.Live()))
+				if s.cfg.OnConnRejected != nil {
+					events = append(events, connEvent{cid: cid, peer: c.peer, fire: s.cfg.OnConnRejected})
+				}
+				droppedCID, dropped = cid, true
+				i = j
+				break
+			}
+		}
+		if (!dropped || cid != droppedCID) && c.r.NeedsPoll() {
+			sh.ArmPoll(key)
+		}
+		sh.Unlock()
+	}
+	for _, ev := range events {
+		ev.fire(ev.cid, ev.peer)
+	}
+}
+
+// tickLoop advances the shard engine once per PollEvery: each tick
+// serves only the due timers (receiver polls, idle leases) from the
+// shards' wheels, then fires expiry callbacks outside the locks.
+func (s *Server) tickLoop() {
 	defer s.wg.Done()
 	tick := time.NewTicker(s.cfg.PollEvery)
 	defer tick.Stop()
@@ -215,107 +302,60 @@ func (s *Server) pollLoop() {
 		case <-s.done:
 			return
 		case <-tick.C:
-			type expiredConn struct {
-				cid  uint32
-				peer net.Addr
+			expired := s.eng.Tick()
+			if len(expired) == 0 {
+				continue
 			}
-			var expired []expiredConn
-			now := time.Now() //lint:allow detrand idle expiry is wall-clock by definition on the real-socket path
-			s.mu.Lock()
-			// Poll and expire in sorted key order: poll order decides
-			// the sequence of emitted datagrams across connections, and
-			// expiry order the OnConnExpired callback sequence — map
-			// order would make both differ run to run.
-			keys := make([]connKey, 0, len(s.conns))
-			for key := range s.conns {
-				keys = append(keys, key)
+			for _, e := range expired {
+				s.expired.Add(1)
+				s.telExpired.Inc()
+				s.telRing.Record(telemetry.EvExpired, e.Val.cid, 0, 0, 0)
 			}
-			sort.Slice(keys, func(i, j int) bool {
-				if keys[i].cid != keys[j].cid {
-					return keys[i].cid < keys[j].cid
-				}
-				return keys[i].addr < keys[j].addr
-			})
-			for _, key := range keys {
-				c := s.conns[key]
-				if s.cfg.IdleTimeout > 0 && now.Sub(c.lastActive) > s.cfg.IdleTimeout {
-					delete(s.conns, key)
-					s.expired++
-					s.telExpired.Inc()
-					s.telLive.Set(int64(len(s.conns)))
-					s.telRing.Record(telemetry.EvExpired, c.cid, 0, 0, 0)
-					expired = append(expired, expiredConn{cid: c.cid, peer: c.peer})
-					continue
-				}
-				c.r.Poll()
-			}
-			s.mu.Unlock()
+			s.telLive.Set(int64(s.eng.Live()))
 			if s.cfg.OnConnExpired != nil {
 				for _, e := range expired {
-					s.cfg.OnConnExpired(e.cid, e.peer)
+					s.cfg.OnConnExpired(e.Val.cid, e.Val.peer)
 				}
 			}
 		}
 	}
-}
-
-// primary returns the earliest-established live connection, or nil.
-// Called with s.mu held.
-func (s *Server) primary() *serverConn {
-	var best *serverConn
-	// Min-reduction with a total order (established, then cid): the
-	// result is independent of map iteration order even on ties.
-	for _, c := range s.conns { //lint:allow maprange min-reduction over a total order; result is iteration-order independent
-		if best == nil || c.established < best.established ||
-			(c.established == best.established && c.cid < best.cid) {
-			best = c
-		}
-	}
-	return best
 }
 
 // Addr returns the bound UDP address.
 func (s *Server) Addr() net.Addr { return s.sock.LocalAddr() }
 
 // ConnCount returns the number of live connections.
-func (s *Server) ConnCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.conns)
-}
+func (s *Server) ConnCount() int { return s.eng.Live() }
 
 // Expired returns how many connections idle expiry has reaped.
-func (s *Server) Expired() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.expired
-}
+func (s *Server) Expired() int { return int(s.expired.Load()) }
 
 // RejectedConns returns how many connections the vr.RejectConnection
 // overlap policy has torn down.
-func (s *Server) RejectedConns() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.rejected
-}
+func (s *Server) RejectedConns() int { return int(s.rejected.Load()) }
+
+// RefusedConns returns how many connection establishments admission
+// control (Config.MaxConns) refused.
+func (s *Server) RefusedConns() int { return s.eng.Refused() }
 
 // Stream returns a copy of the application bytes placed so far on the
 // primary connection.
 func (s *Server) Stream() []byte {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if c := s.primary(); c != nil {
-		return append([]byte(nil), c.r.Stream()...)
-	}
-	return nil
+	var out []byte
+	s.eng.WithPrimary(func(c *serverConn) {
+		out = append([]byte(nil), c.r.Stream()...)
+	})
+	return out
 }
 
 // StreamOf returns a copy of the stream of the connection established
 // by cid from addr (the exact source "ip:port"), or nil.
 func (s *Server) StreamOf(cid uint32, addr string) []byte {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if c, ok := s.conns[connKey{cid: cid, addr: addr}]; ok {
+	key := shard.Key{CID: cid, Addr: addr}
+	sh := s.eng.Shard(key)
+	sh.Lock()
+	defer sh.Unlock()
+	if c, ok := sh.Get(key); ok {
 		return append([]byte(nil), c.r.Stream()...)
 	}
 	return nil
@@ -324,45 +364,32 @@ func (s *Server) StreamOf(cid uint32, addr string) []byte {
 // VerifiedCount returns how many TPDUs verified OK on the primary
 // connection.
 func (s *Server) VerifiedCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if c := s.primary(); c != nil {
-		return c.r.VerifiedCount()
-	}
-	return 0
+	n := 0
+	s.eng.WithPrimary(func(c *serverConn) { n = c.r.VerifiedCount() })
+	return n
 }
 
 // Closed reports whether the close signal has arrived on the primary
 // connection.
 func (s *Server) Closed() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if c := s.primary(); c != nil {
-		return c.r.Closed()
-	}
-	return false
+	closed := false
+	s.eng.WithPrimary(func(c *serverConn) { closed = c.r.Closed() })
+	return closed
 }
 
 // Findings returns the error detection findings so far on the primary
 // connection.
 func (s *Server) Findings() []errdet.Finding {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if c := s.primary(); c != nil {
-		return c.r.Findings()
-	}
-	return nil
+	var out []errdet.Finding
+	s.eng.WithPrimary(func(c *serverConn) { out = c.r.Findings() })
+	return out
 }
 
 // Reaped returns how many stale incomplete TPDUs were dropped across
 // all connections.
 func (s *Server) Reaped() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	n := 0
-	for _, c := range s.conns {
-		n += c.r.Reaped()
-	}
+	s.eng.Range(func(_ shard.Key, c *serverConn) { n += c.r.Reaped() })
 	return n
 }
 
@@ -371,10 +398,10 @@ func (s *Server) Reaped() int {
 func (s *Server) WaitClosed(n int, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout) //lint:allow detrand test/CLI convenience wait; bounds wall time, not protocol behavior
 	for time.Now().Before(deadline) { //lint:allow detrand test/CLI convenience wait; bounds wall time, not protocol behavior
-		s.mu.Lock()
-		c := s.primary()
-		ok := c != nil && c.r.Closed() && len(c.r.Stream()) >= n
-		s.mu.Unlock()
+		ok := false
+		s.eng.WithPrimary(func(c *serverConn) {
+			ok = c.r.Closed() && len(c.r.Stream()) >= n
+		})
 		if ok {
 			return nil
 		}

@@ -1,0 +1,73 @@
+// Package shardbad seeds the golden cases for the invariants the
+// sharded connection engine (internal/shard) must keep: merge steps
+// that walk per-shard connection tables must never let map iteration
+// order reach expiry callbacks, findings, or reap totals — the exact
+// way a Shards=8 run would diverge from a Shards=1 run under the same
+// seeded workload.
+package shardbad
+
+import "sort"
+
+// Conn is a stand-in for a per-connection receiver slot.
+type Conn struct {
+	CID    uint32
+	Reaped int
+}
+
+// Shard owns one partition of the connection table.
+type Shard struct {
+	Conns map[string]*Conn
+}
+
+// ExpireAll fires the expiry callback in map order: two runs of the
+// same seeded workload would observe different callback sequences, so
+// a Shards=8 trace could never be compared against Shards=1.
+func ExpireAll(shards []*Shard, onExpire func(string, *Conn)) {
+	for _, sh := range shards {
+		for key, c := range sh.Conns { // want "maprange: iteration order of map sh\.Conns can leak into behavior"
+			onExpire(key, c)
+			delete(sh.Conns, key)
+		}
+	}
+}
+
+// Findings merges per-shard findings lists in map order — the merged
+// report would shuffle run to run even though every shard's own list
+// is deterministic.
+func Findings(tables map[int][]string) []string {
+	var out []string
+	for _, fs := range tables { // want "maprange: iteration order of map tables can leak into behavior"
+		out = append(out, fs...)
+	}
+	return out
+}
+
+// ExpireSorted is the sanctioned shape (the shard.Engine.Tick idiom):
+// collect keys, sort, then service — callback order is a pure function
+// of the table contents.
+func ExpireSorted(shards []*Shard, onExpire func(string, *Conn)) {
+	for _, sh := range shards {
+		keys := make([]string, 0, len(sh.Conns))
+		for key := range sh.Conns {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			onExpire(key, sh.Conns[key])
+			delete(sh.Conns, key)
+		}
+	}
+}
+
+// ReapTotal is an order-free reduction (exempt): summing per-conn
+// counters commutes, so the shard-merge total is deterministic without
+// sorting.
+func ReapTotal(shards []*Shard) int {
+	n := 0
+	for _, sh := range shards {
+		for _, c := range sh.Conns {
+			n += c.Reaped
+		}
+	}
+	return n
+}

@@ -1,0 +1,159 @@
+package shard
+
+// The hierarchical timer wheel: every per-connection deadline (the
+// next receiver poll round, the idle-expiry check) is a timer hashed
+// into a slot of one of wheelLevels wheels by its remaining delay.
+// Advancing the wheel one tick touches exactly one level-0 slot plus
+// an amortised-O(1) cascade from the higher levels — independent of
+// how many connections exist — which replaces the old server's
+// per-tick sort-all-keys scan over the whole connection table.
+//
+// Determinism: the wheel itself never reads a clock; ticks are counted
+// by the caller (the engine's Tick). Timers drained from a slot come
+// back in insertion order, and the engine re-sorts every tick's due
+// set by connection key before acting, pinning the firing order to the
+// old sorted-scan semantics (see TestWheelTickOrdering).
+
+const (
+	wheelBits   = 6 // 64 slots per level
+	wheelSlots  = 1 << wheelBits
+	wheelMask   = wheelSlots - 1
+	wheelLevels = 4 // covers 64^4 ≈ 16.7M ticks (~3.9 days at 20ms/tick)
+)
+
+// timerKind orders a connection's deadlines within one tick: the idle
+// check runs before the poll, mirroring the old scan (an expired
+// connection was deleted and never polled).
+type timerKind uint8
+
+const (
+	kindIdle timerKind = iota
+	kindPoll
+)
+
+// A timer is one scheduled deadline, intrusively linked into its slot.
+type timer struct {
+	key  Key
+	kind timerKind
+	when uint64 // absolute tick
+
+	next, prev *timer
+	list       *timerList // slot the timer currently occupies, nil if unscheduled
+}
+
+// timerList is a doubly-linked slot of timers (insertion-ordered).
+type timerList struct {
+	head, tail *timer
+}
+
+func (l *timerList) push(t *timer) {
+	t.prev = l.tail
+	t.next = nil
+	if l.tail != nil {
+		l.tail.next = t
+	} else {
+		l.head = t
+	}
+	l.tail = t
+	t.list = l
+}
+
+func (l *timerList) remove(t *timer) {
+	if t.prev != nil {
+		t.prev.next = t.next
+	} else {
+		l.head = t.next
+	}
+	if t.next != nil {
+		t.next.prev = t.prev
+	} else {
+		l.tail = t.prev
+	}
+	t.next, t.prev, t.list = nil, nil, nil
+}
+
+// drain unlinks and returns the whole slot in insertion order.
+func (l *timerList) drain() []*timer {
+	var out []*timer
+	for t := l.head; t != nil; {
+		next := t.next
+		t.next, t.prev, t.list = nil, nil, nil
+		out = append(out, t)
+		t = next
+	}
+	l.head, l.tail = nil, nil
+	return out
+}
+
+// wheel is one shard's hierarchical timer wheel. All methods are
+// called with the shard lock held.
+type wheel struct {
+	now     uint64
+	level   [wheelLevels][wheelSlots]timerList
+	pending int // scheduled timers (diagnostics)
+}
+
+// schedule (re)inserts t to fire at the absolute tick `when`. A past
+// or current deadline is clamped to the next tick: the wheel never
+// fires a timer in the tick that scheduled it.
+func (w *wheel) schedule(t *timer, when uint64) {
+	w.cancel(t)
+	if when <= w.now {
+		when = w.now + 1
+	}
+	t.when = when
+	w.insert(t)
+	w.pending++
+}
+
+// insert places t by its remaining delay; a delay of zero lands in the
+// current level-0 slot (only the cascade path produces that, and it
+// drains the slot immediately afterwards).
+func (w *wheel) insert(t *timer) {
+	delta := t.when - w.now
+	for l := 0; l < wheelLevels; l++ {
+		if delta < 1<<(uint(l+1)*wheelBits) || l == wheelLevels-1 {
+			w.level[l][(t.when>>(uint(l)*wheelBits))&wheelMask].push(t)
+			return
+		}
+	}
+}
+
+// cancel unlinks t if scheduled (O(1); no-op otherwise).
+func (w *wheel) cancel(t *timer) {
+	if t.list == nil {
+		return
+	}
+	t.list.remove(t)
+	w.pending--
+}
+
+// advance moves the wheel one tick forward and returns the timers due
+// at the new tick, in insertion order. Higher levels cascade into
+// lower ones exactly when the lower level completes a revolution, so
+// a due timer is always found in level 0 at its deadline.
+func (w *wheel) advance() []*timer {
+	w.now++
+	for l := 1; l < wheelLevels; l++ {
+		if w.now&(1<<(uint(l)*wheelBits)-1) != 0 {
+			break
+		}
+		slot := (w.now >> (uint(l) * wheelBits)) & wheelMask
+		for _, t := range w.level[l][slot].drain() {
+			w.insert(t) // delay 0 lands in the level-0 slot drained below
+		}
+	}
+	due := w.level[0][w.now&wheelMask].drain()
+	kept := due[:0]
+	for _, t := range due {
+		if t.when > w.now {
+			// A far-future timer clamped into the top level can come
+			// around with ticks still to serve; put it back.
+			w.insert(t)
+			continue
+		}
+		w.pending--
+		kept = append(kept, t)
+	}
+	return kept
+}

@@ -1,0 +1,232 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// advanceTo runs the wheel to the given tick, returning every timer
+// fired along the way tagged with its firing tick.
+func advanceTo(w *wheel, tick uint64) map[uint64][]*timer {
+	fired := make(map[uint64][]*timer)
+	for w.now < tick {
+		if due := w.advance(); len(due) > 0 {
+			fired[w.now] = append(fired[w.now], due...)
+		}
+	}
+	return fired
+}
+
+// TestWheelFiresExactlyAtDeadline schedules timers at deltas that
+// straddle every level boundary and checks each fires at exactly its
+// deadline — neither early nor late — including the cascade paths.
+func TestWheelFiresExactlyAtDeadline(t *testing.T) {
+	deltas := []uint64{
+		1, 2, 63, 64, 65, // level 0 ↔ 1 boundary
+		127, 128, 4095, 4096, 4097, // level 1 ↔ 2 boundary
+		262143, 262144, 262145, // level 2 ↔ 3 boundary
+		1 << 20,
+	}
+	w := &wheel{}
+	timers := make(map[*timer]uint64)
+	for _, d := range deltas {
+		tm := &timer{key: Key{CID: uint32(d)}}
+		w.schedule(tm, w.now+d)
+		timers[tm] = w.now + d
+	}
+	fired := advanceTo(w, 1<<20+8)
+	seen := 0
+	for tick, due := range fired {
+		for _, tm := range due {
+			want, ok := timers[tm]
+			if !ok {
+				t.Fatalf("unknown timer fired at tick %d", tick)
+			}
+			if tick != want {
+				t.Errorf("timer delta=%d fired at tick %d, want %d", want, tick, want)
+			}
+			seen++
+		}
+	}
+	if seen != len(deltas) {
+		t.Fatalf("fired %d timers, want %d", seen, len(deltas))
+	}
+	if w.pending != 0 {
+		t.Fatalf("pending = %d after all fired, want 0", w.pending)
+	}
+}
+
+// TestWheelRandomizedDeadlines cross-checks the wheel against a naive
+// sorted list over seeded random schedules, including reschedules and
+// cancellations.
+func TestWheelRandomizedDeadlines(t *testing.T) {
+	rng := rand.New(rand.NewSource(7)) // seeded: deterministic run
+	w := &wheel{}
+	const n = 500
+	timers := make([]*timer, n)
+	want := make(map[*timer]uint64) // expected firing tick; absent = cancelled
+	for i := range timers {
+		timers[i] = &timer{key: Key{CID: uint32(i)}}
+		when := w.now + 1 + uint64(rng.Intn(1<<18))
+		w.schedule(timers[i], when)
+		want[timers[i]] = when
+	}
+	// Perturb: reschedule a third, cancel a tenth.
+	for i := 0; i < n; i++ {
+		switch {
+		case i%3 == 0:
+			when := w.now + 1 + uint64(rng.Intn(1<<18))
+			w.schedule(timers[i], when)
+			want[timers[i]] = when
+		case i%10 == 9:
+			w.cancel(timers[i])
+			delete(want, timers[i])
+		}
+	}
+	fired := advanceTo(w, 1<<18+2)
+	got := make(map[*timer]uint64)
+	for tick, due := range fired {
+		for _, tm := range due {
+			if _, dup := got[tm]; dup {
+				t.Fatalf("timer %v fired twice", tm.key)
+			}
+			got[tm] = tick
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d timers, want %d", len(got), len(want))
+	}
+	for tm, w0 := range want {
+		if got[tm] != w0 {
+			t.Errorf("timer %v fired at %d, want %d", tm.key, got[tm], w0)
+		}
+	}
+}
+
+// TestWheelScheduleClampsPast verifies that a deadline at or before the
+// current tick fires on the next tick, never in the scheduling tick and
+// never silently dropped.
+func TestWheelScheduleClampsPast(t *testing.T) {
+	w := &wheel{}
+	advanceTo(w, 100)
+	tm := &timer{}
+	w.schedule(tm, 50) // in the past
+	due := w.advance()
+	if len(due) != 1 || due[0] != tm {
+		t.Fatalf("past-deadline timer did not fire on the next tick: due=%v", due)
+	}
+}
+
+// TestWheelCancelIdempotent checks cancel on unscheduled and fired
+// timers is a safe no-op and pending bookkeeping stays exact.
+func TestWheelCancelIdempotent(t *testing.T) {
+	w := &wheel{}
+	tm := &timer{}
+	w.cancel(tm) // never scheduled
+	w.schedule(tm, 5)
+	w.cancel(tm)
+	w.cancel(tm) // double cancel
+	if w.pending != 0 {
+		t.Fatalf("pending = %d, want 0", w.pending)
+	}
+	if fired := advanceTo(w, 10); len(fired) != 0 {
+		t.Fatalf("cancelled timer fired: %v", fired)
+	}
+	w.schedule(tm, w.now+3)
+	if fired := advanceTo(w, w.now+5); len(fired) != 1 {
+		t.Fatalf("rescheduled-after-cancel timer did not fire: %v", fired)
+	}
+}
+
+// TestWheelTickOrdering pins the engine's per-tick servicing order to
+// the old server's sorted-scan semantics: due timers for one tick are
+// handled in (C.ID, Addr) order with a connection's idle check before
+// its poll, regardless of which shard or insertion order produced them.
+func TestWheelTickOrdering(t *testing.T) {
+	eng := New(Config[int]{
+		Shards:    4,
+		IdleTicks: 3,
+		Poll:      func(Key, int) bool { return false },
+	})
+	// Establish in scrambled key order across shards so insertion order
+	// disagrees with key order.
+	keys := []Key{
+		{CID: 9, Addr: "b"}, {CID: 2, Addr: "z"}, {CID: 2, Addr: "a"},
+		{CID: 40, Addr: "x"}, {CID: 1, Addr: "q"}, {CID: 9, Addr: "a"},
+	}
+	for _, k := range keys {
+		sh := eng.Shard(k)
+		sh.Lock()
+		if _, err := sh.Establish(k, func() (int, error) { return 0, nil }); err != nil {
+			t.Fatal(err)
+		}
+		sh.ArmPoll(k) // poll due at tick 1, idle at tick 3
+		sh.Unlock()
+	}
+
+	var order []string
+	eng2 := New(Config[int]{
+		Shards:    4,
+		IdleTicks: 1,
+		Poll: func(k Key, _ int) bool {
+			order = append(order, fmt.Sprintf("poll:%d@%s", k.CID, k.Addr))
+			return false
+		},
+	})
+	for _, k := range keys {
+		sh := eng2.Shard(k)
+		sh.Lock()
+		if _, err := sh.Establish(k, func() (int, error) { return 0, nil }); err != nil {
+			t.Fatal(err)
+		}
+		sh.ArmPoll(k)
+		sh.Unlock()
+	}
+	// Tick 1: every connection has idle (IdleTicks=1, untouched) and
+	// poll due in the same tick. Old scan: sorted by key, and an expired
+	// connection is deleted before its poll ran.
+	expired := eng2.Tick()
+	for _, e := range expired {
+		order = append(order, fmt.Sprintf("idle:%d@%s", e.Key.CID, e.Key.Addr))
+	}
+
+	// Expired events must come back key-sorted.
+	sortedKeys := append([]Key(nil), keys...)
+	sort.Slice(sortedKeys, func(i, j int) bool { return sortedKeys[i].less(sortedKeys[j]) })
+	if len(expired) != len(keys) {
+		t.Fatalf("expired %d conns, want %d (idle should beat poll in the same tick)", len(expired), len(keys))
+	}
+	for i, e := range expired {
+		if e.Key != sortedKeys[i] {
+			t.Errorf("expired[%d] = %v, want %v (key-sorted merge)", i, e.Key, sortedKeys[i])
+		}
+	}
+	// And no poll hook may have fired for an expired connection — the
+	// idle check ran first, exactly like the old scan's delete-then-poll
+	// pass.
+	for _, o := range order {
+		if len(o) >= 5 && o[:5] == "poll:" {
+			t.Errorf("poll fired for a connection expired in the same tick: %s", o)
+		}
+	}
+
+	// Back on eng (IdleTicks=3): tick 1 fires the polls only, key-sorted.
+	var polled []Key
+	eng.cfg.Poll = func(k Key, _ int) bool {
+		polled = append(polled, k)
+		return false
+	}
+	if exp := eng.Tick(); len(exp) != 0 {
+		t.Fatalf("unexpected expiry at tick 1: %v", exp)
+	}
+	if len(polled) != len(keys) {
+		t.Fatalf("polled %d conns, want %d", len(polled), len(keys))
+	}
+	for i, k := range polled {
+		if k != sortedKeys[i] {
+			t.Errorf("polled[%d] = %v, want %v (key-sorted merge)", i, k, sortedKeys[i])
+		}
+	}
+}

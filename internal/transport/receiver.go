@@ -73,6 +73,7 @@ type Receiver struct {
 
 	repaired  int
 	reaped    int
+	pending   int               // TPDUs tracked without a final verdict (NeedsPoll)
 	tids      map[uint32]bool   // every TPDU seen (for polling)
 	progress  map[uint32]uint64 // reassembly fingerprint at last Poll
 	stalled   map[uint32]int    // consecutive no-progress polls
@@ -317,6 +318,7 @@ func (r *Receiver) seen(tid uint32) {
 	// lost ACK) — that would double-count the verdict in after().
 	if _, ok := r.firstSeen[tid]; !ok && !r.verdicted[tid] {
 		r.firstSeen[tid] = r.round
+		r.pending++
 	}
 }
 
@@ -346,6 +348,7 @@ func (r *Receiver) after(tid uint32) {
 	if first, ok := r.firstSeen[tid]; ok {
 		delete(r.firstSeen, tid)
 		r.verdicted[tid] = true
+		r.pending--
 		r.tel.polls.Observe(int64(r.round - first))
 		if v == errdet.VerdictOK {
 			r.tel.verified.Inc()
@@ -426,6 +429,9 @@ func (r *Receiver) Poll() {
 		// scratch.
 		r.stale[tid]++
 		if r.cfg.ReapAfter > 0 && r.stale[tid] >= r.cfg.ReapAfter {
+			if _, ok := r.firstSeen[tid]; ok {
+				r.pending--
+			}
 			r.ed.ResetTPDU(tid)
 			delete(r.tids, tid)
 			delete(r.progress, tid)
@@ -509,6 +515,14 @@ func (r *Receiver) Repaired() int { return r.repaired }
 // Reaped returns the number of stale incomplete TPDUs whose state was
 // dropped (only nonzero when ReceiverConfig.ReapAfter is set).
 func (r *Receiver) Reaped() int { return r.reaped }
+
+// NeedsPoll reports whether the receiver has timer-driven work left:
+// at least one tracked TPDU awaits its final verdict, so Poll rounds
+// must keep running (NACK emission, stall escalation, reaping). A
+// receiver with no pending verdicts is quiescent — a timer-wheel
+// caller (internal/shard) disarms its poll timer instead of scanning
+// it every tick, and re-arms on the next arrival.
+func (r *Receiver) NeedsPoll() bool { return r.pending > 0 }
 
 // PendingTPDUs returns the number of TPDUs currently holding receive
 // state without a final verdict — the quantity reaping bounds.
