@@ -1,11 +1,14 @@
 // Command chunklint runs the repository's stdlib-only analyzer suite
 // (internal/lint) over the module and exits non-zero on findings.
 //
-//	chunklint [-json] [-C dir] [check ...]
+//	chunklint [-json] [-stats] [-C dir] [check ...]
 //
 // With check names as arguments only those checks run (plus directive
 // hygiene); by default the whole suite runs. -C selects the module
-// root (default: the module containing the working directory).
+// root (default: the module containing the working directory). -stats
+// prints per-check finding and suppression counts and enforces the
+// pinned //lint:allow budget (lint.AllowBudget): a drifted count is a
+// finding, so suppressions cannot accrete without a reviewed bump.
 package main
 
 import (
@@ -14,12 +17,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"chunks/internal/lint"
 )
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	stats := flag.Bool("stats", false, "print per-check finding/suppression counts and enforce the //lint:allow budget")
 	chdir := flag.String("C", "", "module root to analyze (default: enclosing module)")
 	flag.Parse()
 
@@ -52,7 +57,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	diags := lint.Run(m, checks)
+	diags, st := lint.RunStats(m, checks)
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -68,9 +73,57 @@ func main() {
 			fmt.Fprintf(os.Stderr, "chunklint: %d finding(s)\n", len(diags))
 		}
 	}
-	if len(diags) > 0 {
+
+	budgetOK := true
+	if *stats {
+		printStats(checks, st)
+		// The budget pins the module-wide total, so enforce it only
+		// when the whole suite ran — a subset run still reports the
+		// table but cannot judge other checks' suppressions.
+		if len(flag.Args()) == 0 && st.Allows != lint.AllowBudget {
+			budgetOK = false
+			fmt.Fprintf(os.Stderr,
+				"chunklint: %d //lint:allow directive(s), budget is %d — fix the findings or update AllowBudget in internal/lint/budget.go\n",
+				st.Allows, lint.AllowBudget)
+		}
+	}
+	if len(diags) > 0 || !budgetOK {
 		os.Exit(1)
 	}
+}
+
+// printStats writes the per-check finding/suppression table in check
+// order (suite order, then any extra keys sorted) so output is stable.
+func printStats(checks []lint.Check, st lint.Stats) {
+	names := []string{"lint"}
+	for _, c := range checks {
+		names = append(names, c.Name())
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		seen[n] = true
+	}
+	var extra []string
+	for n := range st.Findings {
+		if !seen[n] {
+			seen[n] = true
+			extra = append(extra, n)
+		}
+	}
+	for n := range st.Suppressed {
+		if !seen[n] {
+			seen[n] = true
+			extra = append(extra, n)
+		}
+	}
+	sort.Strings(extra)
+	names = append(names, extra...)
+
+	fmt.Printf("%-12s %9s %10s\n", "check", "findings", "suppressed")
+	for _, n := range names {
+		fmt.Printf("%-12s %9d %10d\n", n, st.Findings[n], st.Suppressed[n])
+	}
+	fmt.Printf("total //lint:allow directives: %d (budget %d)\n", st.Allows, lint.AllowBudget)
 }
 
 func findModuleRoot() (string, error) {

@@ -204,12 +204,12 @@ func newPipeTel(sink telemetry.Sink) pipeTel {
 type pipe struct {
 	mu       sync.Mutex
 	sched    Schedule
-	rng      *rand.Rand
+	rng      *rand.Rand           // guarded by mu
 	now      func() time.Duration // elapsed since relay start (injectable)
-	burst    int                  // remaining datagrams of the current loss burst
-	window   []held
-	seq      int
-	counters Counters
+	burst    int                  // guarded by mu; remaining datagrams of the current loss burst
+	window   []held               // guarded by mu
+	seq      int                  // guarded by mu
+	counters Counters             // guarded by mu
 	tel      pipeTel
 }
 
@@ -305,6 +305,7 @@ func (p *pipe) flushLocked() {
 		}
 	}
 	p.rng.Shuffle(len(p.window), func(i, j int) {
+		//lint:allow locked synchronous swap callback: runs inline under the p.mu held by flushLocked's callers
 		p.window[i], p.window[j] = p.window[j], p.window[i]
 	})
 	for i, h := range p.window {
@@ -349,7 +350,7 @@ type Relay struct {
 	down   *pipe
 
 	mu       sync.Mutex
-	sessions map[string]*session
+	sessions map[string]*session // guarded by mu
 
 	done     chan struct{}
 	shutOnce sync.Once

@@ -63,7 +63,7 @@ func (c *Chunk) SplitToFit(budget int) ([]Chunk, error) {
 		return nil, ErrSplitRange
 	}
 	if c.EncodedLen() <= budget {
-		return []Chunk{*c}, nil
+		return []Chunk{*c}, nil //lint:allow hotalloc single-piece path used by Pack; the hot Encode pre-checks the budget and skips SplitToFit
 	}
 	if c.Type.Control() {
 		return nil, ErrControlOp
@@ -72,7 +72,7 @@ func (c *Chunk) SplitToFit(budget int) ([]Chunk, error) {
 	if perChunk < 1 {
 		return nil, ErrTooLarge
 	}
-	out := make([]Chunk, 0, (c.Elems()+perChunk-1)/perChunk)
+	out := make([]Chunk, 0, (c.Elems()+perChunk-1)/perChunk) //lint:allow hotalloc fragmentation path: runs only when a chunk exceeds the MTU budget
 	rest := *c
 	for rest.Elems() > perChunk {
 		head, tail, err := rest.Split(uint32(perChunk))

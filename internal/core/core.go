@@ -180,13 +180,13 @@ var ErrPeerDead = transport.ErrPeerDead
 // A Conn is the sending end of a chunk connection over UDP.
 type Conn struct {
 	mu     sync.Mutex
-	cond   *sync.Cond // signalled on ACKs, shutdown, peer death
-	s      *transport.Sender
+	cond   *sync.Cond        // signalled on ACKs, shutdown, peer death
+	s      *transport.Sender // guarded by mu
 	sock   *net.UDPConn
 	window int
 	epoch  time.Time // origin of the sender's timeline
-	shut   bool
-	dead   error // ErrPeerDead once the sender gives up
+	shut   bool      // guarded by mu
+	dead   error     // guarded by mu; ErrPeerDead once the sender gives up
 	done   chan struct{}
 	wg     sync.WaitGroup
 
@@ -397,7 +397,7 @@ func (c *Conn) RetransmitTimeline() []transport.RetransmitEvent {
 // that never drained it returns ErrShutdown without waiting.
 func (c *Conn) WaitDrained(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout) //lint:allow detrand test/CLI convenience wait; bounds wall time, not protocol behavior
-	for time.Now().Before(deadline) { //lint:allow detrand test/CLI convenience wait; bounds wall time, not protocol behavior
+	for time.Now().Before(deadline) {   //lint:allow detrand test/CLI convenience wait; bounds wall time, not protocol behavior
 		ok, shut, dead := c.drained()
 		if dead != nil {
 			c.Shutdown()

@@ -397,7 +397,7 @@ func (s *Server) Reaped() int {
 // stream has n bytes, or the timeout elapses.
 func (s *Server) WaitClosed(n int, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout) //lint:allow detrand test/CLI convenience wait; bounds wall time, not protocol behavior
-	for time.Now().Before(deadline) { //lint:allow detrand test/CLI convenience wait; bounds wall time, not protocol behavior
+	for time.Now().Before(deadline) {   //lint:allow detrand test/CLI convenience wait; bounds wall time, not protocol behavior
 		ok := false
 		s.eng.WithPrimary(func(c *serverConn) {
 			ok = c.r.Closed() && len(c.r.Stream()) >= n

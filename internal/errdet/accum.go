@@ -25,7 +25,7 @@ func (b *blockAccumulator) addData(c *chunk.Chunk, lo, hi uint64) error {
 	}
 	spe := SymbolsPerElement(c.Size)
 	if hi*spe > b.layout.DataSymbols {
-		return fmt.Errorf("%w: elements [%d,%d) of size %d", ErrLayout, lo, hi, c.Size)
+		return fmt.Errorf("%w: elements [%d,%d) of size %d", ErrLayout, lo, hi, c.Size) //lint:allow hotalloc cold error path: fmt boxes its operands
 	}
 	off := int(lo-c.T.SN) * int(c.Size)
 	if c.Size%wsc.SymbolSize == 0 {
@@ -34,12 +34,12 @@ func (b *blockAccumulator) addData(c *chunk.Chunk, lo, hi uint64) error {
 		return b.acc.AddBytes(lo*spe, c.Payload[off:off+n])
 	}
 	// Pad each element independently to its symbol slots.
-	var buf [8 * wsc.SymbolSize]byte
+	var buf [8 * wsc.SymbolSize]byte //lint:allow hotalloc heap-moved only on the symbol-unaligned branch; steady-state elements are symbol-aligned
 	var pad []byte
 	if spe <= uint64(len(buf))/wsc.SymbolSize {
 		pad = buf[:spe*wsc.SymbolSize]
 	} else {
-		pad = make([]byte, spe*wsc.SymbolSize)
+		pad = make([]byte, spe*wsc.SymbolSize) //lint:allow hotalloc padding slow path for elements wider than 8 symbols
 	}
 	for sn := lo; sn < hi; sn++ {
 		for i := range pad {
@@ -157,10 +157,10 @@ func Encode(layout Layout, chs []chunk.Chunk) (wsc.Parity, error) {
 	for i := range chs {
 		c := &chs[i]
 		if c.Type != chunk.TypeData {
-			return wsc.Parity{}, fmt.Errorf("errdet: chunk %d is %v, want data", i, c.Type)
+			return wsc.Parity{}, fmt.Errorf("errdet: chunk %d is %v, want data", i, c.Type) //lint:allow hotalloc cold error path: fmt boxes its operands
 		}
 		if c.T.ID != tid || c.C.ID != cid {
-			return wsc.Parity{}, fmt.Errorf("errdet: chunk %d belongs to a different PDU", i)
+			return wsc.Parity{}, fmt.Errorf("errdet: chunk %d belongs to a different PDU", i) //lint:allow hotalloc cold error path: fmt boxes its operands
 		}
 		lo, hi := c.T.SN, c.T.SN+uint64(c.Len)
 		if sorted && (i == 0 || lo >= prevHi) {
@@ -170,13 +170,13 @@ func Encode(layout Layout, chs []chunk.Chunk) (wsc.Parity, error) {
 				// First out-of-order chunk: replay the sorted prefix
 				// into an interval set and continue on the slow path.
 				sorted = false
-				seen = new(vr.IntervalSet)
+				seen = new(vr.IntervalSet) //lint:allow hotalloc out-of-order slow path; sorted steady-state TPDUs never build the interval set
 				for j := 0; j < i; j++ {
 					seen.Add(chs[j].T.SN, chs[j].T.SN+uint64(chs[j].Len))
 				}
 			}
 			if fresh := seen.Add(lo, hi); len(fresh) != 1 || fresh[0] != (vr.Interval{Lo: lo, Hi: hi}) {
-				return wsc.Parity{}, fmt.Errorf("errdet: chunk %d overlaps another chunk", i)
+				return wsc.Parity{}, fmt.Errorf("errdet: chunk %d overlaps another chunk", i) //lint:allow hotalloc cold error path: fmt boxes its operands
 			}
 		}
 		if err := b.addData(c, lo, hi); err != nil {

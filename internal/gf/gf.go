@@ -102,6 +102,8 @@ func MulAlpha(a uint32) uint32 {
 // Long runs dispatch to the lane-split table kernel (tables.go), which
 // is bit-identical to the scalar recurrence; HornerScalar is the
 // pinned single-chain reference.
+//
+//lint:hot
 func Horner(d []uint32) uint32 {
 	if len(d) >= slicedMin {
 		return hornerSliced(d)
@@ -116,12 +118,16 @@ func Horner(d []uint32) uint32 {
 // DotAlpha evaluates sum over i of Alpha^(start+i) * d[i]: the weighted
 // contribution of a contiguous symbol run beginning at absolute
 // position start.
+//
+//lint:hot
 func DotAlpha(start uint64, d []uint32) uint32 {
 	return Mul(AlphaPow(start), Horner(d))
 }
 
 // Sum returns the unweighted XOR-sum of the symbols (the P0 parity of a
 // weighted sum code).
+//
+//lint:hot
 func Sum(d []uint32) uint32 {
 	var acc uint32
 	for _, v := range d {

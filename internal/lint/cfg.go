@@ -1,0 +1,332 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// This file is the shared control-flow substrate of the flow-aware
+// checks (locked, and any future path-sensitive analysis): a small
+// intraprocedural CFG over ast.Stmt granularity. Blocks hold "simple"
+// nodes — plain statements plus the condition/tag expressions of the
+// branches that terminate them — in source order; control-flow
+// statements are lowered into block edges. The construction is
+// deliberately conservative: anything it cannot model precisely
+// (goto into a loop, fallthrough chains) degrades into extra edges,
+// never missing ones, so a forward must-analysis (set intersection at
+// joins) stays sound against the modeled flow.
+
+// A cfgBlock is one straight-line run of nodes with successor edges.
+type cfgBlock struct {
+	nodes []ast.Node // simple stmts and branch condition exprs, in order
+	succs []*cfgBlock
+	index int // stable identity for worklists and determinism
+}
+
+// A funcCFG is the control-flow graph of one function body.
+type funcCFG struct {
+	entry  *cfgBlock
+	blocks []*cfgBlock // entry first, construction order (deterministic)
+}
+
+// cfgBuilder carries the construction state: the current open block
+// and the targets of break/continue/goto in scope.
+type cfgBuilder struct {
+	g      *funcCFG
+	cur    *cfgBlock
+	breaks []loopCtx            // innermost last
+	labels map[string]*cfgBlock // goto / labeled-statement targets
+	gotos  []pendingGoto
+}
+
+type loopCtx struct {
+	label    string
+	brk      *cfgBlock // break target (block after the construct)
+	cont     *cfgBlock // continue target (nil for switch/select)
+	isSwitch bool
+}
+
+type pendingGoto struct {
+	from  *cfgBlock
+	label string
+}
+
+// buildCFG lowers a function body into a funcCFG.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	b := &cfgBuilder{g: &funcCFG{}, labels: map[string]*cfgBlock{}}
+	b.cur = b.newBlock()
+	b.g.entry = b.g.blocks[0]
+	b.stmtList(body.List)
+	// Resolve forward gotos; unknown labels fall off (no edge), which
+	// only makes the must-analysis stricter along modeled paths.
+	for _, pg := range b.gotos {
+		if dst, ok := b.labels[pg.label]; ok {
+			pg.from.succs = append(pg.from.succs, dst)
+		}
+	}
+	return b.g
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	bl := &cfgBlock{index: len(b.g.blocks)}
+	b.g.blocks = append(b.g.blocks, bl)
+	return bl
+}
+
+// link adds an edge cur -> bl and makes bl current. A nil cur means
+// the flow already terminated (return/branch); bl starts unreachable
+// and is pruned by the dataflow's reachability.
+func (b *cfgBuilder) moveTo(bl *cfgBlock) {
+	if b.cur != nil {
+		b.cur.succs = append(b.cur.succs, bl)
+	}
+	b.cur = bl
+}
+
+func (b *cfgBuilder) edge(from, to *cfgBlock) {
+	if from != nil {
+		from.succs = append(from.succs, to)
+	}
+}
+
+func (b *cfgBuilder) emit(n ast.Node) {
+	if b.cur != nil && n != nil {
+		b.cur.nodes = append(b.cur.nodes, n)
+	}
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// findLoop returns the break/continue context for the given label (""
+// means innermost breakable / continuable).
+func (b *cfgBuilder) findBreak(label string) *cfgBlock {
+	for i := len(b.breaks) - 1; i >= 0; i-- {
+		if label == "" || b.breaks[i].label == label {
+			return b.breaks[i].brk
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) findContinue(label string) *cfgBlock {
+	for i := len(b.breaks) - 1; i >= 0; i-- {
+		if b.breaks[i].cont == nil {
+			continue // switch/select: continue skips through
+		}
+		if label == "" || b.breaks[i].label == label {
+			return b.breaks[i].cont
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		target := b.newBlock()
+		b.labels[s.Label.Name] = target
+		b.moveTo(target)
+		b.stmt(s.Stmt, s.Label.Name)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.emit(s.Init)
+		}
+		b.emit(s.Cond)
+		condBlk := b.cur
+		after := b.newBlock()
+		thenBlk := b.newBlock()
+		b.edge(condBlk, thenBlk)
+		b.cur = thenBlk
+		b.stmtList(s.Body.List)
+		b.moveTo(after)
+		if s.Else != nil {
+			elseBlk := b.newBlock()
+			b.edge(condBlk, elseBlk)
+			b.cur = elseBlk
+			b.stmt(s.Else, "")
+			b.moveTo(after)
+		} else {
+			b.edge(condBlk, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.emit(s.Init)
+		}
+		head := b.newBlock()
+		after := b.newBlock()
+		body := b.newBlock()
+		b.moveTo(head)
+		if s.Cond != nil {
+			b.emit(s.Cond)
+			b.edge(head, after) // cond false
+		}
+		// A condition-less for only exits via break/return.
+		b.edge(head, body)
+		b.breaks = append(b.breaks, loopCtx{label: label, brk: after, cont: head})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		if s.Post != nil {
+			b.emit(s.Post)
+		}
+		b.moveTo(head) // back edge
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.cur = after
+
+	case *ast.RangeStmt:
+		b.emit(s.X)
+		head := b.newBlock()
+		after := b.newBlock()
+		body := b.newBlock()
+		b.moveTo(head)
+		// The per-iteration key/value targets (the body lives in its
+		// own blocks; emitting s itself would double-walk it).
+		b.emit(s.Key)
+		b.emit(s.Value)
+		b.edge(head, after) // range exhausted (possibly immediately)
+		b.edge(head, body)
+		b.breaks = append(b.breaks, loopCtx{label: label, brk: after, cont: head})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.moveTo(head)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.emit(s.Init)
+		}
+		if s.Tag != nil {
+			b.emit(s.Tag)
+		}
+		b.switchBody(s.Body, label, func(cc *ast.CaseClause) {
+			for _, e := range cc.List {
+				b.emit(e)
+			}
+		})
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.emit(s.Init)
+		}
+		b.emit(s.Assign)
+		b.switchBody(s.Body, label, nil)
+
+	case *ast.SelectStmt:
+		head := b.cur
+		after := b.newBlock()
+		b.breaks = append(b.breaks, loopCtx{label: label, brk: after, isSwitch: true})
+		hasDefault := false
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+			blk := b.newBlock()
+			b.edge(head, blk)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.emit(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.moveTo(after)
+		}
+		if len(s.Body.List) == 0 || !hasDefault {
+			// A select with no default blocks; modeling a fallthrough
+			// edge keeps the graph connected without weakening joins.
+			_ = hasDefault
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.cur = after
+
+	case *ast.BranchStmt:
+		lbl := ""
+		if s.Label != nil {
+			lbl = s.Label.Name
+		}
+		switch s.Tok.String() {
+		case "break":
+			if dst := b.findBreak(lbl); dst != nil {
+				b.edge(b.cur, dst)
+			}
+			b.cur = nil
+		case "continue":
+			if dst := b.findContinue(lbl); dst != nil {
+				b.edge(b.cur, dst)
+			}
+			b.cur = nil
+		case "goto":
+			if b.cur != nil {
+				b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: lbl})
+			}
+			b.cur = nil
+		case "fallthrough":
+			// Handled structurally by switchBody; nothing to do here.
+		}
+
+	case *ast.ReturnStmt:
+		b.emit(s)
+		b.cur = nil // flow terminates
+
+	default:
+		// DeclStmt, AssignStmt, ExprStmt, GoStmt, DeferStmt, SendStmt,
+		// IncDecStmt, EmptyStmt: straight-line.
+		b.emit(s)
+	}
+}
+
+// switchBody lowers a (type) switch: every case starts from the tag
+// block; fallthrough chains into the next case's body.
+func (b *cfgBuilder) switchBody(body *ast.BlockStmt, label string, emitCase func(*ast.CaseClause)) {
+	head := b.cur
+	after := b.newBlock()
+	b.breaks = append(b.breaks, loopCtx{label: label, brk: after, isSwitch: true})
+	hasDefault := false
+	var caseBlocks []*cfgBlock
+	var caseClauses []*ast.CaseClause
+	for _, cl := range body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		blk := b.newBlock()
+		b.edge(head, blk)
+		caseBlocks = append(caseBlocks, blk)
+		caseClauses = append(caseClauses, cc)
+	}
+	for i, cc := range caseClauses {
+		b.cur = caseBlocks[i]
+		if emitCase != nil {
+			emitCase(cc)
+		}
+		ft := false
+		for _, s := range cc.Body {
+			if br, ok := s.(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+				ft = true
+			}
+			b.stmt(s, "")
+		}
+		if ft && i+1 < len(caseBlocks) {
+			b.moveTo(caseBlocks[i+1])
+			b.cur = nil
+			continue
+		}
+		b.moveTo(after)
+	}
+	if !hasDefault {
+		b.edge(head, after) // no case matched
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.cur = after
+}

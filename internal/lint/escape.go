@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Escape-diagnostic ingestion: the hotalloc check consults the
+// compiler's own escape analysis instead of re-deriving an inferior
+// heuristic in the AST. One `go build -gcflags=-m=1 ./...` over the
+// module yields every static heap-allocation site ("escapes to heap",
+// "moved to heap"); the go command replays cached compiler output, so
+// warm runs cost milliseconds. Test files are not compiled by go
+// build, which is fine: hot paths are production code by definition.
+
+// An escapeSite is one compiler-reported static heap allocation.
+type escapeSite struct {
+	Line, Col int
+	Msg       string
+}
+
+type escapeData struct {
+	byFile map[string][]escapeSite // module-relative slash paths
+}
+
+// sites returns the escape sites of a module-relative file, sorted.
+func (e *escapeData) sites(file string) []escapeSite {
+	return e.byFile[file]
+}
+
+// Escapes runs (once) and returns the compiler escape diagnostics for
+// the module. The error is sticky: a module that does not build has
+// no compiler truth to consult.
+func (m *Module) Escapes() (*escapeData, error) {
+	m.escOnce.Do(func() {
+		m.esc, m.escErr = loadEscapes(m.Dir)
+	})
+	return m.esc, m.escErr
+}
+
+func loadEscapes(dir string) (*escapeData, error) {
+	cmd := exec.Command("go", "build", "-gcflags=-m=1", "./...")
+	cmd.Dir = dir
+	var out bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &out
+	err := cmd.Run()
+	data := &escapeData{byFile: map[string][]escapeSite{}}
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(&out)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.Contains(line, "escapes to heap") && !strings.Contains(line, "moved to heap") {
+			continue
+		}
+		file, ln, col, msg, ok := splitDiag(line)
+		if !ok {
+			continue
+		}
+		key := fmt.Sprintf("%s:%d:%d:%s", file, ln, col, msg)
+		if seen[key] {
+			continue // generic code is re-reported per instantiating package
+		}
+		seen[key] = true
+		data.byFile[file] = append(data.byFile[file], escapeSite{Line: ln, Col: col, Msg: msg})
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: go build -gcflags=-m: %v\n%s", err, out.String())
+	}
+	files := make([]string, 0, len(data.byFile))
+	for f := range data.byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		sites := data.byFile[f]
+		sort.Slice(sites, func(i, j int) bool {
+			if sites[i].Line != sites[j].Line {
+				return sites[i].Line < sites[j].Line
+			}
+			if sites[i].Col != sites[j].Col {
+				return sites[i].Col < sites[j].Col
+			}
+			return sites[i].Msg < sites[j].Msg
+		})
+	}
+	return data, nil
+}
+
+// splitDiag parses "path/file.go:12:34: message" into its parts,
+// normalizing the path to a clean module-relative slash path.
+func splitDiag(line string) (file string, ln, col int, msg string, ok bool) {
+	parts := strings.SplitN(line, ":", 4)
+	if len(parts) != 4 || !strings.HasSuffix(parts[0], ".go") {
+		return "", 0, 0, "", false
+	}
+	var err error
+	if ln, err = strconv.Atoi(parts[1]); err != nil {
+		return "", 0, 0, "", false
+	}
+	if col, err = strconv.Atoi(parts[2]); err != nil {
+		return "", 0, 0, "", false
+	}
+	file = filepath.ToSlash(filepath.Clean(parts[0]))
+	return file, ln, col, strings.TrimSpace(parts[3]), true
+}

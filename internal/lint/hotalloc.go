@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/token"
+	"regexp"
+)
+
+// Hotalloc statically enforces allocation-free hot paths. A function
+// annotated with a `//lint:hot` doc-comment line is a hot root; the
+// check walks every function statically reachable from the roots
+// (through the module call graph, excluding test files and dynamic
+// calls) and reports each compiler-verified heap allocation inside —
+// the "escapes to heap" / "moved to heap" diagnostics of
+// `go build -gcflags=-m`, replayed from the build cache.
+//
+// This is the static twin of the runtime zero-alloc regression tests
+// (testing.AllocsPerRun over the steady-state send path): the tests
+// prove a particular workload does not allocate, this check proves no
+// code path in the annotated closure of functions can, and names the
+// exact site when one appears. Deliberate cold-path allocations
+// (error construction, pool refills) carry //lint:allow hotalloc with
+// the justification.
+//
+// Boundaries: calls through interfaces or function values are not
+// traversed (the runtime tests still cover them), and allocations the
+// compiler performs without an escape diagnostic (append growth,
+// map/chan internals) are invisible here — -m reports static escape
+// decisions, not every runtime allocation.
+type Hotalloc struct{}
+
+// NewHotalloc returns the check (driven by //lint:hot annotations).
+func NewHotalloc() *Hotalloc { return &Hotalloc{} }
+
+func (*Hotalloc) Name() string { return "hotalloc" }
+func (*Hotalloc) Doc() string {
+	return "functions reachable from //lint:hot roots must be free of compiler-reported heap allocations"
+}
+
+var hotRE = regexp.MustCompile(`^//lint:hot(\s.*)?$`)
+
+func (c *Hotalloc) Run(m *Module, report func(pos token.Pos, format string, args ...any)) {
+	cg := m.CallGraph()
+	var roots []*cgNode
+	for _, n := range cg.nodes {
+		if n.testFile || n.decl.Doc == nil {
+			continue
+		}
+		for _, cm := range n.decl.Doc.List {
+			if hotRE.MatchString(cm.Text) {
+				roots = append(roots, n)
+				break
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return
+	}
+	esc, err := m.Escapes()
+	if err != nil {
+		report(roots[0].decl.Pos(), "cannot verify //lint:hot paths: %v", err)
+		return
+	}
+	reach := cg.reachableFrom(roots)
+	for _, n := range cg.nodes { // deterministic module order
+		if !reach[n] || n.testFile || n.decl.Body == nil {
+			continue
+		}
+		start := m.Fset.Position(n.decl.Pos())
+		end := m.Fset.Position(n.decl.End())
+		tf := m.Fset.File(n.decl.Pos())
+		for _, s := range esc.sites(relFile(m, start.Filename)) {
+			if s.Line < start.Line || s.Line > end.Line {
+				continue
+			}
+			pos := tf.LineStart(s.Line) + token.Pos(s.Col-1)
+			report(pos, "allocation on //lint:hot path in %s: %s", funcDisplayName(n.obj), s.Msg)
+		}
+	}
+}

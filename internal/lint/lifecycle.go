@@ -1,0 +1,333 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Lifecycle enforces that concurrency resources created under
+// internal/ have a reachable teardown:
+//
+//   - Every `go` statement must be joined: the spawned body signals a
+//     sync.WaitGroup whose Wait, or selects on a done channel whose
+//     close, is called either in the spawning function itself or in a
+//     function reachable (via the static call graph) from a shutdown
+//     root — a method or function named Close/Stop/Shutdown/Drain/
+//     Wait (or prefixed Close*/Stop*/Shutdown*).
+//   - Every time.NewTicker/NewTimer/AfterFunc result must flow to a
+//     .Stop() in the same function (typically deferred) or in a
+//     shutdown-reachable one; time.Tick is reported unconditionally,
+//     since its ticker can never be stopped.
+//
+// Identities are types.Object-based: the WaitGroup/channel/ticker is
+// matched by the variable or struct field it lives in, not by name,
+// so `c.wg.Done()` in a literal pairs with `c.wg.Wait()` in Close.
+// Dynamically spawned functions (go fn() through a function value)
+// cannot be analyzed and are reported for explicit annotation.
+// Fire-and-forget goroutines that are genuinely owned by a listener
+// or process lifetime carry //lint:allow lifecycle <reason>.
+type Lifecycle struct{}
+
+// NewLifecycle returns the check, scoped to internal/ packages.
+func NewLifecycle() *Lifecycle { return &Lifecycle{} }
+
+func (*Lifecycle) Name() string { return "lifecycle" }
+func (*Lifecycle) Doc() string {
+	return "goroutines and tickers/timers in internal/ need a join or Stop reachable from Close/Stop/Shutdown"
+}
+
+var shutdownPrefixes = []string{"Close", "Stop", "Shutdown"}
+var shutdownNames = map[string]bool{"Drain": true, "Wait": true, "close": true, "stop": true, "shutdown": true}
+
+func isShutdownName(name string) bool {
+	if shutdownNames[name] {
+		return true
+	}
+	for _, p := range shutdownPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Lifecycle) Run(m *Module, report func(pos token.Pos, format string, args ...any)) {
+	cg := m.CallGraph()
+
+	// Shutdown roots and the set of functions reachable from them.
+	var roots []*cgNode
+	for _, n := range cg.nodes {
+		if !n.testFile && isShutdownName(n.obj.Name()) {
+			roots = append(roots, n)
+		}
+	}
+	shutReach := cg.reachableFrom(roots)
+
+	// Module-wide site maps: which functions call obj.Wait(),
+	// obj.Stop(), close(obj) for each variable/field object.
+	sites := collectLifecycleSites(m, cg)
+
+	// joined reports whether fn's teardown set intersects the spawner
+	// or the shutdown-reachable functions.
+	joined := func(where []*cgNode, spawner *cgNode) bool {
+		for _, w := range where {
+			if w == spawner || shutReach[w] {
+				return true
+			}
+		}
+		return false
+	}
+
+	prefix := m.Path + "/internal/"
+	for _, n := range cg.nodes {
+		if n.testFile || n.decl.Body == nil || !strings.HasPrefix(n.pkg.Path, prefix) {
+			continue
+		}
+		info := n.pkg.infoFor(fileOf(n.pkg, n.decl))
+		ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+			switch x := node.(type) {
+			case *ast.GoStmt:
+				c.checkGo(m, cg, info, n, x, sites, joined, report)
+			case *ast.CallExpr:
+				c.checkTimer(info, n, x, sites, joined, report)
+			}
+			return true
+		})
+	}
+}
+
+// lifecycleSites maps teardown calls to the functions containing
+// them, keyed by the object being torn down.
+type lifecycleSites struct {
+	wait  map[types.Object][]*cgNode // wg.Wait()
+	stop  map[types.Object][]*cgNode // t.Stop()
+	close map[types.Object][]*cgNode // close(ch)
+}
+
+func collectLifecycleSites(m *Module, cg *callGraph) *lifecycleSites {
+	s := &lifecycleSites{
+		wait:  map[types.Object][]*cgNode{},
+		stop:  map[types.Object][]*cgNode{},
+		close: map[types.Object][]*cgNode{},
+	}
+	add := func(m map[types.Object][]*cgNode, obj types.Object, n *cgNode) {
+		if obj == nil {
+			return
+		}
+		for _, have := range m[obj] {
+			if have == n {
+				return
+			}
+		}
+		m[obj] = append(m[obj], n)
+	}
+	for _, n := range cg.nodes {
+		if n.testFile || n.decl.Body == nil {
+			continue
+		}
+		info := n.pkg.infoFor(fileOf(n.pkg, n.decl))
+		ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, isIdent := ast.Unparen(call.Fun).(*ast.Ident); isIdent && id.Name == "close" && len(call.Args) == 1 {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					add(s.close, referencedObject(info, call.Args[0]), n)
+				}
+				return true
+			}
+			sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !isSel {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Wait":
+				if isSyncWaitGroup(info.TypeOf(sel.X)) {
+					add(s.wait, referencedObject(info, sel.X), n)
+				}
+			case "Stop":
+				add(s.stop, referencedObject(info, sel.X), n)
+			}
+			return true
+		})
+	}
+	return s
+}
+
+// referencedObject resolves an expression to the variable or field
+// object it denotes (normalized across generic instantiation), or nil
+// for anything unaddressable by a simple path.
+func referencedObject(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[x].(*types.Var); ok {
+			return v.Origin()
+		}
+		if v, ok := info.Defs[x].(*types.Var); ok {
+			return v.Origin()
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				return v.Origin()
+			}
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return referencedObject(info, x.X)
+		}
+	}
+	return nil
+}
+
+func isSyncWaitGroup(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+// checkGo verifies one go statement has a reachable join.
+func (c *Lifecycle) checkGo(m *Module, cg *callGraph, info *types.Info, spawner *cgNode, gs *ast.GoStmt,
+	sites *lifecycleSites, joined func([]*cgNode, *cgNode) bool,
+	report func(pos token.Pos, format string, args ...any)) {
+
+	var body *ast.BlockStmt
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		body = lit.Body
+	} else if callee := cg.node(resolveCallee(info, gs.Call)); callee != nil {
+		body = callee.decl.Body
+		info = callee.pkg.infoFor(fileOf(callee.pkg, callee.decl))
+	}
+	if body == nil {
+		report(gs.Pos(), "goroutine target is a dynamic call; its join cannot be verified statically — annotate //lint:allow lifecycle <reason> if it is owned elsewhere")
+		return
+	}
+
+	// Join signals inside the spawned body (defers and nested
+	// literals included): WaitGroup Done, done-channel receives.
+	var wgObjs, chObjs []types.Object
+	seen := map[types.Object]bool{}
+	note := func(list *[]types.Object, obj types.Object) {
+		if obj != nil && !seen[obj] {
+			seen[obj] = true
+			*list = append(*list, obj)
+		}
+	}
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" && isSyncWaitGroup(info.TypeOf(sel.X)) {
+				note(&wgObjs, referencedObject(info, sel.X))
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && isChanType(info.TypeOf(x.X)) {
+				note(&chObjs, referencedObject(info, x.X))
+			}
+		case *ast.RangeStmt:
+			if isChanType(info.TypeOf(x.X)) {
+				note(&chObjs, referencedObject(info, x.X))
+			}
+		}
+		return true
+	})
+
+	for _, obj := range wgObjs {
+		if joined(sites.wait[obj], spawner) {
+			return
+		}
+	}
+	for _, obj := range chObjs {
+		if joined(sites.close[obj], spawner) {
+			return
+		}
+	}
+	switch {
+	case len(wgObjs) > 0:
+		report(gs.Pos(), "goroutine signals a WaitGroup, but no matching Wait is reachable from a Close/Stop/Shutdown method or the spawning function")
+	case len(chObjs) > 0:
+		report(gs.Pos(), "goroutine watches a channel, but no matching close() is reachable from a Close/Stop/Shutdown method or the spawning function")
+	default:
+		report(gs.Pos(), "goroutine has no join: add a WaitGroup Done/Wait pair or a done channel closed on shutdown, or annotate //lint:allow lifecycle <reason>")
+	}
+}
+
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// checkTimer verifies ticker/timer construction sites.
+func (c *Lifecycle) checkTimer(info *types.Info, n *cgNode, call *ast.CallExpr,
+	sites *lifecycleSites, joined func([]*cgNode, *cgNode) bool,
+	report func(pos token.Pos, format string, args ...any)) {
+
+	callee := resolveCallee(info, call)
+	if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "time" {
+		return
+	}
+	kind := callee.Name()
+	switch kind {
+	case "Tick":
+		report(call.Pos(), "time.Tick leaks its ticker; use time.NewTicker with a deferred Stop")
+		return
+	case "NewTicker", "NewTimer", "AfterFunc":
+	default:
+		return
+	}
+
+	// The result must be bound to a trackable variable or field whose
+	// Stop is reachable.
+	obj := timerResultObject(info, n, call)
+	if obj == nil {
+		report(call.Pos(), "time.%s result is not bound to a variable; its Stop can never be called", kind)
+		return
+	}
+	if joined(sites.stop[obj], n) {
+		return
+	}
+	report(call.Pos(), "time.%s result is never stopped: no Stop in this function or reachable from a Close/Stop/Shutdown method", kind)
+}
+
+// timerResultObject finds the variable/field the timer call's result
+// is assigned to, by locating the enclosing assignment in n's body.
+func timerResultObject(info *types.Info, n *cgNode, call *ast.CallExpr) types.Object {
+	var found types.Object
+	ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch x := node.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				if ast.Unparen(rhs) == call && i < len(x.Lhs) {
+					found = referencedObject(info, x.Lhs[i])
+					return false
+				}
+			}
+		case *ast.ValueSpec:
+			for i, v := range x.Values {
+				if ast.Unparen(v) == call && i < len(x.Names) {
+					found = referencedObject(info, x.Names[i])
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -68,7 +68,21 @@ func AllChecks() []Check {
 		NewWirepin(),
 		NewNilnoop(),
 		NewPoolsafe(),
+		NewLocked(),
+		NewHotalloc(),
+		NewLifecycle(),
 	}
+}
+
+// Stats summarizes a run: per-check counts of surviving findings and
+// of findings silenced by //lint:allow directives, plus the total
+// number of allow directives present in the module (all checks, even
+// ones outside a subset run). The total is pinned by AllowBudget so
+// suppressions cannot accrete silently.
+type Stats struct {
+	Findings   map[string]int `json:"findings"`
+	Suppressed map[string]int `json:"suppressed"`
+	Allows     int            `json:"allows"`
 }
 
 // Run executes the checks over the module, applies //lint:allow
@@ -76,8 +90,20 @@ func AllChecks() []Check {
 // position. Malformed (reason-less) and unused allow directives for
 // the executed checks are reported as check "lint".
 func Run(m *Module, checks []Check) []Diagnostic {
+	diags, _ := RunStats(m, checks)
+	return diags
+}
+
+// RunStats is Run plus the suppression accounting behind the
+// chunklint -stats flag.
+func RunStats(m *Module, checks []Check) ([]Diagnostic, Stats) {
 	dirs := collectDirectives(m)
 	ran := map[string]bool{"lint": true}
+	stats := Stats{
+		Findings:   map[string]int{},
+		Suppressed: map[string]int{},
+		Allows:     len(dirs.all),
+	}
 
 	var diags []Diagnostic
 	for _, c := range checks {
@@ -98,6 +124,7 @@ func Run(m *Module, checks []Check) []Diagnostic {
 	for _, d := range diags {
 		if dir := dirs.match(d.File, d.Line, d.Check); dir != nil {
 			dir.used = true
+			stats.Suppressed[d.Check]++
 			continue
 		}
 		kept = append(kept, d)
@@ -135,7 +162,10 @@ func Run(m *Module, checks []Check) []Diagnostic {
 		}
 		return a.Check < b.Check
 	})
-	return diags
+	for _, d := range diags {
+		stats.Findings[d.Check]++
+	}
+	return diags, stats
 }
 
 func relFile(m *Module, name string) string {

@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // A Package is one typechecked directory of the module under analysis.
@@ -59,6 +60,20 @@ type Module struct {
 	Packages []*Package // sorted by import path
 
 	byPath map[string]*Package
+
+	// Lazily built flow-analysis substrates shared across checks.
+	cgOnce  sync.Once
+	cg      *callGraph
+	escOnce sync.Once
+	esc     *escapeData
+	escErr  error
+}
+
+// CallGraph returns the module's static call graph, built on first
+// use and shared by every flow-aware check.
+func (m *Module) CallGraph() *callGraph {
+	m.cgOnce.Do(func() { m.cg = buildCallGraph(m) })
+	return m.cg
 }
 
 // Lookup returns the package with the given import path, or nil.
@@ -115,7 +130,7 @@ func Load(dir string) (*Module, error) {
 			for _, n := range names {
 				f, err := parser.ParseFile(fset, filepath.Join(d, n), nil, parser.ParseComments|parser.SkipObjectResolution)
 				if err != nil {
-					return nil, err
+					return nil, fmt.Errorf("lint: parse: %w", err)
 				}
 				files = append(files, f)
 			}
@@ -252,7 +267,12 @@ func (mi *moduleImporter) Import(path string) (*types.Package, error) {
 // cache: one `go list` maps every dependency (test deps included) of
 // the module to its export file.
 func newExportImporter(fset *token.FileSet, dir string) (types.ImporterFrom, error) {
-	cmd := exec.Command("go", "list", "-deps", "-test", "-export", "-json=ImportPath,Export", "./...")
+	// -e tolerates broken packages: go list then returns export data
+	// for everything that does compile and leaves Export empty for the
+	// rest, so the loader's own typechecker gets to report the broken
+	// package with a positioned diagnostic instead of surfacing raw
+	// `go list` stderr.
+	cmd := exec.Command("go", "list", "-e", "-deps", "-test", "-export", "-json=ImportPath,Export", "./...")
 	cmd.Dir = dir
 	var out, errb bytes.Buffer
 	cmd.Stdout, cmd.Stderr = &out, &errb

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module under t.TempDir. Files are
+// ordered pairs (path, source) so creation order is deterministic.
+func writeModule(t *testing.T, files [][2]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for _, f := range files {
+		path := filepath.Join(dir, f[0])
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(f[1]), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// Load on a directory with no go.mod must error, not panic.
+func TestLoadNotAModuleRoot(t *testing.T) {
+	_, err := Load(t.TempDir())
+	if err == nil || !strings.Contains(err.Error(), "not a module root") {
+		t.Fatalf("Load on a bare directory: got %v, want a 'not a module root' error", err)
+	}
+}
+
+// A syntax error in any file must surface as a positioned diagnostic
+// error from Load, not a panic downstream.
+func TestLoadParseError(t *testing.T) {
+	dir := writeModule(t, [][2]string{
+		{"go.mod", "module tmpmod\n\ngo 1.22\n"},
+		{"p/p.go", "package p\n\nfunc Broken( {\n"},
+	})
+	_, err := Load(dir)
+	if err == nil || !strings.Contains(err.Error(), "lint:") {
+		t.Fatalf("Load with a syntax error: got %v, want a lint-prefixed error", err)
+	}
+}
+
+// A module that parses but fails typechecking must produce the
+// "lint: typecheck" diagnostic and a nil module.
+func TestLoadTypecheckError(t *testing.T) {
+	dir := writeModule(t, [][2]string{
+		{"go.mod", "module tmpmod\n\ngo 1.22\n"},
+		{"p/p.go", "package p\n\nfunc F() int { return undefinedIdent }\n"},
+	})
+	m, err := Load(dir)
+	if err == nil || !strings.Contains(err.Error(), "typecheck") {
+		t.Fatalf("Load with a type error: got %v, want a 'lint: typecheck' error", err)
+	}
+	if m != nil {
+		t.Fatalf("Load returned a non-nil module alongside the error")
+	}
+}
+
+// An import that go list cannot resolve must fail Load with the
+// go list diagnostic (no network, so the failure is immediate).
+func TestLoadUnresolvableImport(t *testing.T) {
+	dir := writeModule(t, [][2]string{
+		{"go.mod", "module tmpmod\n\ngo 1.22\n"},
+		{"p/p.go", "package p\n\nimport _ \"example.com/does/not/exist\"\n"},
+	})
+	_, err := Load(dir)
+	if err == nil || !strings.Contains(err.Error(), "lint:") {
+		t.Fatalf("Load with an unresolvable import: got %v, want a lint-prefixed error", err)
+	}
+}
+
+// The export-data importer must report a missing dependency as an
+// error ("no export data"), not panic inside go/importer, when asked
+// for a package that is not in the module's dependency set.
+func TestExportImporterMissingExportData(t *testing.T) {
+	dir := writeModule(t, [][2]string{
+		{"go.mod", "module tmpmod\n\ngo 1.22\n"},
+		{"p/p.go", "package p\n\nfunc F() int { return 1 }\n"},
+	})
+	imp, err := newExportImporter(token.NewFileSet(), dir)
+	if err != nil {
+		t.Fatalf("newExportImporter: %v", err)
+	}
+	_, err = imp.ImportFrom("encoding/csv", dir, 0)
+	if err == nil || !strings.Contains(err.Error(), "no export data") {
+		t.Fatalf("ImportFrom on a non-dependency: got %v, want a 'no export data' error", err)
+	}
+}

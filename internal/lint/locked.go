@@ -1,0 +1,856 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Locked enforces mutex discipline declared on struct fields:
+//
+//	type Shard struct {
+//		mu    sync.Mutex
+//		conns map[Key]*entry // guarded by mu
+//	}
+//
+// Every access to an annotated field must occur on a control-flow
+// path where the named sibling mutex is provably held. The analysis
+// is flow-sensitive (a forward must-hold dataflow over the shared
+// CFG, so held(x) is the intersection over all paths reaching the
+// access) and interprocedural in two ways:
+//
+//   - Wrapper summaries: a method whose net effect is acquiring or
+//     releasing a receiver-rooted mutex (Shard.Lock wrapping
+//     s.mu.Lock) transfers that effect to its call sites.
+//   - Caller-must-hold propagation: a function that accesses a
+//     guarded field through its receiver or a parameter without
+//     locking is given the requirement "caller must hold"; the
+//     requirement is checked at every static call site, propagating
+//     further up when the callee object is itself reachable from the
+//     caller's receiver or parameters. A chain only produces a
+//     finding where it breaks: a call or access on a local object
+//     with the mutex demonstrably not held.
+//
+// A function that acquires the mutex itself on some path and still
+// reaches a guarded access without it (the unlock-too-early bug
+// class) is reported directly rather than propagated.
+//
+// Locks are identified by normalized access-path strings ("sh.mu");
+// aliasing through assignments or call results is not tracked, and
+// function literals are analyzed as isolated bodies (accesses rooted
+// at their own parameters are trusted to the caller). Genuine
+// exceptions carry //lint:allow locked <reason>.
+type Locked struct{}
+
+// NewLocked returns the check (driven entirely by annotations).
+func NewLocked() *Locked { return &Locked{} }
+
+func (*Locked) Name() string { return "locked" }
+func (*Locked) Doc() string {
+	return "fields annotated `guarded by <mu>` must only be accessed with that mutex held"
+}
+
+var guardedByRE = regexp.MustCompile(`^//\s*guarded by\s+([A-Za-z_]\w*)\b`)
+
+// A guardInfo is one annotated field: which sibling mutex guards it.
+type guardInfo struct {
+	structName string // type name, for messages
+	fieldName  string
+	muName     string
+}
+
+// A lockReq is a caller-must-hold obligation of one function: the
+// mutex reached from parameter root (-1 = receiver) via path.
+type lockReq struct {
+	root int    // -1 receiver, else flattened parameter index
+	path string // ".mu", ".eng.mu", ...
+	desc string // "Shard.conns" — what the mutex guards, for messages
+}
+
+// A lockSummary is a function's net lock effect on receiver-rooted
+// mutexes, used to model wrapper methods at call sites.
+type lockSummary struct {
+	acquires []string // receiver-relative paths held at every exit
+	releases []string // receiver-relative paths unlocked on some path
+}
+
+func (c *Locked) Run(m *Module, report func(pos token.Pos, format string, args ...any)) {
+	guards := collectGuards(m, report)
+	if len(guards) == 0 {
+		return
+	}
+	cg := m.CallGraph()
+	la := &lockedAnalysis{m: m, guards: guards, cg: cg,
+		sums: map[*cgNode]*lockSummary{}, reqs: map[*cgNode][]lockReq{}}
+
+	// Wrapper summaries to a (shallow) fixed point: wrappers of
+	// wrappers stabilize in as many rounds as their nesting depth.
+	for i := 0; i < 3; i++ {
+		changed := false
+		for _, n := range cg.nodes {
+			if n.decl.Body == nil {
+				continue
+			}
+			s := la.summarize(n)
+			old := la.sums[n]
+			if old == nil || !equalStrings(old.acquires, s.acquires) || !equalStrings(old.releases, s.releases) {
+				la.sums[n] = s
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Caller-must-hold requirements to a fixed point.
+	for i := 0; i < 10; i++ {
+		changed := false
+		for _, n := range cg.nodes {
+			if n.decl.Body == nil {
+				continue
+			}
+			for _, r := range la.deriveReqs(n) {
+				if la.addReq(n, r) {
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Final pass: report the places where the discipline breaks.
+	for _, n := range cg.nodes {
+		if n.decl.Body != nil {
+			la.checkFunc(n, report)
+		}
+	}
+	// Function literals, as isolated units.
+	for _, p := range m.Packages {
+		for _, f := range p.AllFiles() {
+			info := p.infoFor(f)
+			if info == nil {
+				continue
+			}
+			ast.Inspect(f, func(node ast.Node) bool {
+				if lit, ok := node.(*ast.FuncLit); ok {
+					la.checkFuncLit(p, info, lit, report)
+					return false // nested literals are visited recursively inside
+				}
+				return true
+			})
+		}
+	}
+}
+
+// collectGuards parses `// guarded by <mu>` field annotations,
+// validating that the named sibling exists and is a mutex.
+func collectGuards(m *Module, report func(pos token.Pos, format string, args ...any)) map[string]guardInfo {
+	guards := map[string]guardInfo{}
+	for _, p := range m.Packages {
+		for _, f := range p.AllFiles() {
+			info := p.infoFor(f)
+			if info == nil {
+				continue
+			}
+			ast.Inspect(f, func(node ast.Node) bool {
+				ts, ok := node.(*ast.TypeSpec)
+				if !ok {
+					return true
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				for _, fld := range st.Fields.List {
+					mu := guardAnnotation(fld)
+					if mu == "" {
+						continue
+					}
+					if !structHasMutex(info, st, mu) {
+						report(fld.Pos(), "guarded-by annotation names %q, which is not a sync.Mutex/RWMutex sibling field of %s", mu, ts.Name.Name)
+						continue
+					}
+					for _, name := range fld.Names {
+						key := p.Path + "." + ts.Name.Name + "." + name.Name
+						guards[key] = guardInfo{structName: ts.Name.Name, fieldName: name.Name, muName: mu}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return guards
+}
+
+func guardAnnotation(fld *ast.Field) string {
+	for _, cg := range [2]*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, cm := range cg.List {
+			if mm := guardedByRE.FindStringSubmatch(cm.Text); mm != nil {
+				return mm[1]
+			}
+		}
+	}
+	return ""
+}
+
+func structHasMutex(info *types.Info, st *ast.StructType, name string) bool {
+	for _, fld := range st.Fields.List {
+		for _, n := range fld.Names {
+			if n.Name == name {
+				return isMutexType(info.TypeOf(fld.Type))
+			}
+		}
+	}
+	return false
+}
+
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// lockedAnalysis carries the interprocedural state of one run.
+type lockedAnalysis struct {
+	m      *Module
+	guards map[string]guardInfo
+	cg     *callGraph
+	sums   map[*cgNode]*lockSummary
+	reqs   map[*cgNode][]lockReq
+}
+
+func (la *lockedAnalysis) addReq(n *cgNode, r lockReq) bool {
+	for _, have := range la.reqs[n] {
+		if have.root == r.root && have.path == r.path {
+			return false
+		}
+	}
+	la.reqs[n] = append(la.reqs[n], r)
+	sort.Slice(la.reqs[n], func(i, j int) bool {
+		a, b := la.reqs[n][i], la.reqs[n][j]
+		if a.root != b.root {
+			return a.root < b.root
+		}
+		return a.path < b.path
+	})
+	return true
+}
+
+// funcUnit is one analyzed body: a declaration or a literal.
+type funcUnit struct {
+	info     *types.Info
+	body     *ast.BlockStmt
+	recvName string
+	params   []string // flattened parameter names
+	la       *lockedAnalysis
+
+	fresh  map[string]bool // locals built from composite literals / new
+	locked map[string]bool // keys explicitly acquired somewhere in the body
+	defRel map[string]bool // keys released by deferred calls
+}
+
+func (la *lockedAnalysis) unitFor(n *cgNode) *funcUnit {
+	u := &funcUnit{info: n.pkg.infoFor(fileOf(n.pkg, n.decl)), body: n.decl.Body, la: la}
+	if r := n.decl.Recv; r != nil && len(r.List) == 1 && len(r.List[0].Names) == 1 {
+		u.recvName = r.List[0].Names[0].Name
+	}
+	for _, fld := range n.decl.Type.Params.List {
+		if len(fld.Names) == 0 {
+			u.params = append(u.params, "_")
+			continue
+		}
+		for _, nm := range fld.Names {
+			u.params = append(u.params, nm.Name)
+		}
+	}
+	u.prepare()
+	return u
+}
+
+func (la *lockedAnalysis) unitForLit(p *Package, info *types.Info, lit *ast.FuncLit) *funcUnit {
+	u := &funcUnit{info: info, body: lit.Body, la: la}
+	for _, fld := range lit.Type.Params.List {
+		for _, nm := range fld.Names {
+			u.params = append(u.params, nm.Name)
+		}
+	}
+	u.prepare()
+	return u
+}
+
+// prepare scans the body once for freshness, explicit lock sites and
+// deferred releases (all flow-insensitive facts).
+func (u *funcUnit) prepare() {
+	u.fresh = map[string]bool{}
+	u.locked = map[string]bool{}
+	u.defRel = map[string]bool{}
+	inspectSkippingFuncLits(u.body, func(n ast.Node) {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(x.Rhs) {
+					continue
+				}
+				if isFreshExpr(x.Rhs[i]) {
+					u.fresh[id.Name] = true
+				}
+			}
+		case *ast.CallExpr:
+			if key, acq, ok := u.lockOp(x); ok && acq {
+				u.locked[key] = true
+			}
+		case *ast.DeferStmt:
+			u.deferEffects(x.Call, func(key string, acquire bool) {
+				if !acquire {
+					u.defRel[key] = true
+				}
+			})
+		}
+	})
+}
+
+// deferEffects reports the lock effects of a deferred call: direct
+// mutex calls and receiver-rooted wrapper summaries.
+func (u *funcUnit) deferEffects(call *ast.CallExpr, emit func(key string, acquire bool)) {
+	if key, acq, ok := u.lockOp(call); ok {
+		emit(key, acq)
+		return
+	}
+	if callee := u.la.cg.node(resolveCallee(u.info, call)); callee != nil {
+		if sum := u.la.sums[callee]; sum != nil {
+			if base := callReceiverBase(call); base != "" {
+				for _, p := range sum.acquires {
+					emit(base+p, true)
+				}
+				for _, p := range sum.releases {
+					emit(base+p, false)
+				}
+			}
+		}
+	}
+}
+
+// lockOp recognizes X.Lock/Unlock/RLock/RUnlock on a mutex-typed X.
+func (u *funcUnit) lockOp(call *ast.CallExpr) (key string, acquire, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	var acq bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acq = true
+	case "Unlock", "RUnlock":
+		acq = false
+	default:
+		return "", false, false
+	}
+	if !isMutexType(u.info.TypeOf(sel.X)) {
+		return "", false, false
+	}
+	key = exprString(sel.X)
+	if strings.Contains(key, "(") || key == "expression" {
+		return "", false, false
+	}
+	return key, acq, true
+}
+
+func isFreshExpr(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			_, ok := ast.Unparen(x.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "new" {
+			return true
+		}
+	}
+	return false
+}
+
+// inspectSkippingFuncLits walks the tree, visiting every node except
+// the interiors of function literals (they run on another timeline).
+func inspectSkippingFuncLits(root ast.Node, visit func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// heldSet is the must-hold lattice value: the set of lock keys held
+// on every path reaching a program point. nil is ⊤ (unvisited).
+type heldSet map[string]bool
+
+func (h heldSet) clone() heldSet {
+	out := make(heldSet, len(h))
+	for k := range h {
+		out[k] = true
+	}
+	return out
+}
+
+func meet(a, b heldSet) heldSet {
+	if a == nil {
+		return b.clone()
+	}
+	out := heldSet{}
+	for _, k := range sortedKeys(a) {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func sortedKeys(s map[string]bool) []string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func equalHeld(a, b heldSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	//lint:allow maprange set equality: the result is identical in every iteration order
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// transfer applies one block node's lock effects to held, optionally
+// invoking check at every guarded access and resolvable call.
+func (u *funcUnit) transfer(node ast.Node, held heldSet, check func(n ast.Node, held heldSet)) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case nil:
+			return true
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			// Effects apply at exit; checks inside would run against
+			// an unknown exit state. Skip the whole subtree.
+			return false
+		case *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if key, acq, ok := u.lockOp(x); ok {
+				if acq {
+					held[key] = true
+				} else {
+					delete(held, key)
+				}
+				return true
+			}
+			if check != nil {
+				check(x, held)
+			}
+			// Wrapper summaries.
+			if callee := u.la.cg.node(resolveCallee(u.info, x)); callee != nil {
+				if sum := u.la.sums[callee]; sum != nil {
+					if base := callReceiverBase(x); base != "" {
+						for _, p := range sum.acquires {
+							held[base+p] = true
+						}
+						for _, p := range sum.releases {
+							delete(held, base+p)
+						}
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			if check != nil {
+				check(x, held)
+			}
+		}
+		return true
+	})
+}
+
+// callReceiverBase returns the printable receiver expression of a
+// method call ("sh" for sh.Lock()), or "".
+func callReceiverBase(call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	base := exprString(sel.X)
+	if strings.Contains(base, "(") || base == "expression" {
+		return ""
+	}
+	return base
+}
+
+// flow computes the per-block entry held sets of the unit's CFG.
+func (u *funcUnit) flow() (*funcCFG, []heldSet) {
+	g := buildCFG(u.body)
+	in := make([]heldSet, len(g.blocks))
+	in[g.entry.index] = heldSet{}
+	work := []*cfgBlock{g.entry}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		held := in[b.index].clone()
+		for _, n := range b.nodes {
+			u.transfer(n, held, nil)
+		}
+		for _, s := range b.succs {
+			m := meet(in[s.index], held)
+			if !equalHeld(m, in[s.index]) || in[s.index] == nil {
+				in[s.index] = m
+				work = append(work, s)
+			}
+		}
+	}
+	return g, in
+}
+
+// exitHeld intersects the held sets at every reachable exit (return
+// statements and the fall-off end of the body).
+func (u *funcUnit) exitHeld(g *funcCFG, in []heldSet) heldSet {
+	var exit heldSet
+	for _, b := range g.blocks {
+		if in[b.index] == nil {
+			continue // unreachable
+		}
+		held := in[b.index].clone()
+		terminated := false
+		for _, n := range b.nodes {
+			u.transfer(n, held, nil)
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				exit = meet(exit, held)
+				terminated = true
+			}
+		}
+		if !terminated && len(b.succs) == 0 {
+			exit = meet(exit, held)
+		}
+	}
+	if exit == nil {
+		return heldSet{}
+	}
+	return exit
+}
+
+// summarize computes a declaration's receiver-rooted lock summary.
+func (la *lockedAnalysis) summarize(n *cgNode) *lockSummary {
+	u := la.unitFor(n)
+	sum := &lockSummary{}
+	if u.recvName == "" {
+		return sum
+	}
+	g, in := u.flow()
+	prefix := u.recvName + "."
+	for _, key := range sortedKeys(u.exitHeld(g, in)) {
+		if strings.HasPrefix(key, prefix) && !u.defRel[key] {
+			sum.acquires = append(sum.acquires, key[len(u.recvName):])
+		}
+	}
+	// Releases: any explicit unlock (direct or deferred) of a
+	// receiver-rooted key that the body did not itself acquire.
+	rel := map[string]bool{}
+	inspectSkippingFuncLits(u.body, func(node ast.Node) {
+		if call, ok := node.(*ast.CallExpr); ok {
+			if key, acq, ok := u.lockOp(call); ok && !acq {
+				rel[key] = true
+			}
+		}
+	})
+	for key := range u.defRel {
+		rel[key] = true
+	}
+	for _, key := range sortedKeys(rel) {
+		if strings.HasPrefix(key, prefix) && !u.locked[key] {
+			sum.releases = append(sum.releases, key[len(u.recvName):])
+		}
+	}
+	sort.Strings(sum.acquires)
+	sort.Strings(sum.releases)
+	return sum
+}
+
+// guardFor resolves a selector to its guard annotation, returning the
+// lock key base and info.
+func (u *funcUnit) guardFor(sel *ast.SelectorExpr) (base string, gi guardInfo, ok bool) {
+	selection, isSel := u.info.Selections[sel]
+	if !isSel || selection.Kind() != types.FieldVal {
+		return "", guardInfo{}, false
+	}
+	t := selection.Recv()
+	if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return "", guardInfo{}, false
+	}
+	obj := named.Origin().Obj()
+	if obj.Pkg() == nil {
+		return "", guardInfo{}, false
+	}
+	gi, ok = u.la.guards[obj.Pkg().Path()+"."+obj.Name()+"."+sel.Sel.Name]
+	if !ok {
+		return "", guardInfo{}, false
+	}
+	base = exprString(sel.X)
+	if strings.Contains(base, "(") || base == "expression" {
+		return "", guardInfo{}, false
+	}
+	return base, gi, true
+}
+
+// rootOf splits a key into its leading identifier and the rest:
+// "s.eng.mu" -> ("s", ".eng.mu").
+func rootOf(key string) (string, string) {
+	if i := strings.IndexByte(key, '.'); i >= 0 {
+		return key[:i], key[i:]
+	}
+	return key, ""
+}
+
+// rootIndex classifies a root identifier against the unit's receiver
+// and parameters: -1 receiver, >=0 parameter index, -2 otherwise.
+func (u *funcUnit) rootIndex(root string) int {
+	if root == u.recvName && root != "" {
+		return -1
+	}
+	for i, p := range u.params {
+		if p == root && root != "_" {
+			return i
+		}
+	}
+	return -2
+}
+
+// deriveReqs computes the unit's caller-must-hold obligations.
+func (la *lockedAnalysis) deriveReqs(n *cgNode) []lockReq {
+	u := la.unitFor(n)
+	var reqs []lockReq
+	u.walkChecks(func(key, desc string, held heldSet) {
+		if held[key] || u.locked[key] {
+			return // satisfied locally, or a direct-report case
+		}
+		root, path := rootOf(key)
+		if u.fresh[root] {
+			return
+		}
+		if idx := u.rootIndex(root); idx != -2 {
+			reqs = append(reqs, lockReq{root: idx, path: path, desc: desc})
+		}
+	})
+	return reqs
+}
+
+// walkChecks runs the dataflow and invokes found for every guarded
+// access and every call-site requirement, with the held set at that
+// point. found receives the lock key and a description of what it
+// guards.
+func (u *funcUnit) walkChecks(found func(key, desc string, held heldSet)) {
+	g, in := u.flow()
+	for _, b := range g.blocks {
+		if in[b.index] == nil {
+			continue
+		}
+		held := in[b.index].clone()
+		for _, node := range b.nodes {
+			u.transfer(node, held, func(n ast.Node, held heldSet) {
+				switch x := n.(type) {
+				case *ast.SelectorExpr:
+					if base, gi, ok := u.guardFor(x); ok {
+						found(base+"."+gi.muName, gi.structName+"."+gi.fieldName, held)
+					}
+				case *ast.CallExpr:
+					callee := u.la.cg.node(resolveCallee(u.info, x))
+					if callee == nil {
+						return
+					}
+					for _, req := range u.la.reqs[callee] {
+						key, ok := u.reqKeyAt(x, req)
+						if !ok {
+							continue
+						}
+						found(key, req.desc, held)
+					}
+				}
+			})
+		}
+	}
+}
+
+// reqKeyAt instantiates a callee requirement at a call site.
+func (u *funcUnit) reqKeyAt(call *ast.CallExpr, req lockReq) (string, bool) {
+	var base string
+	if req.root == -1 {
+		base = callReceiverBase(call)
+	} else if req.root < len(call.Args) {
+		base = exprString(call.Args[req.root])
+		if strings.Contains(base, "(") || base == "expression" {
+			base = ""
+		}
+	}
+	if base == "" {
+		return "", false
+	}
+	return base + req.path, true
+}
+
+// checkFunc reports the violations of one declaration: unheld guarded
+// accesses or unmet call requirements whose lock cannot be delegated
+// to the caller.
+func (la *lockedAnalysis) checkFunc(n *cgNode, report func(pos token.Pos, format string, args ...any)) {
+	u := la.unitFor(n)
+	u.walkChecksPos(func(pos token.Pos, key, desc string, isCall bool, callee string, held heldSet) {
+		if held[key] {
+			return
+		}
+		root, _ := rootOf(key)
+		if u.fresh[root] {
+			return
+		}
+		if u.locked[key] {
+			// The function takes this lock elsewhere: an unheld access
+			// is a hole in the locked region, not an API contract.
+			if isCall {
+				report(pos, "call to %s requires %s held (guards %s), but it is not held here despite being locked elsewhere in this function", callee, key, desc)
+			} else {
+				report(pos, "%s is guarded by %s, which is locked elsewhere in this function but not held here", desc, key)
+			}
+			return
+		}
+		if u.rootIndex(root) != -2 {
+			return // propagated to callers as a requirement
+		}
+		if isCall {
+			report(pos, "call to %s requires %s held (guards %s); lock it or annotate //lint:allow locked <reason>", callee, key, desc)
+		} else {
+			report(pos, "%s is guarded but %s is not held here; lock it or annotate //lint:allow locked <reason>", desc, key)
+		}
+	})
+}
+
+// walkChecksPos is walkChecks with positions and call metadata.
+func (u *funcUnit) walkChecksPos(found func(pos token.Pos, key, desc string, isCall bool, callee string, held heldSet)) {
+	g, in := u.flow()
+	for _, b := range g.blocks {
+		if in[b.index] == nil {
+			continue
+		}
+		held := in[b.index].clone()
+		for _, node := range b.nodes {
+			u.transfer(node, held, func(n ast.Node, held heldSet) {
+				switch x := n.(type) {
+				case *ast.SelectorExpr:
+					if base, gi, ok := u.guardFor(x); ok {
+						found(x.Sel.Pos(), base+"."+gi.muName, gi.structName+"."+gi.fieldName, false, "", held)
+					}
+				case *ast.CallExpr:
+					callee := u.la.cg.node(resolveCallee(u.info, x))
+					if callee == nil {
+						return
+					}
+					for _, req := range u.la.reqs[callee] {
+						key, ok := u.reqKeyAt(x, req)
+						if !ok {
+							continue
+						}
+						found(x.Pos(), key, req.desc, true, funcDisplayName(callee.obj), held)
+					}
+				}
+			})
+		}
+	}
+}
+
+// checkFuncLit analyzes one function literal as an isolated body:
+// accesses rooted at its own parameters are the caller's business;
+// everything else must hold the lock inside the literal.
+func (la *lockedAnalysis) checkFuncLit(p *Package, info *types.Info, lit *ast.FuncLit, report func(pos token.Pos, format string, args ...any)) {
+	u := la.unitForLit(p, info, lit)
+	u.walkChecksPos(func(pos token.Pos, key, desc string, isCall bool, callee string, held heldSet) {
+		if held[key] {
+			return
+		}
+		root, _ := rootOf(key)
+		if u.fresh[root] || u.rootIndex(root) != -2 {
+			return
+		}
+		if isCall {
+			report(pos, "call to %s inside a function literal requires %s held (guards %s); lock it in the literal or annotate //lint:allow locked <reason>", callee, key, desc)
+		} else {
+			report(pos, "%s is guarded but %s is not held in this function literal; lock it or annotate //lint:allow locked <reason>", desc, key)
+		}
+	})
+	// Nested literals.
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if nested, ok := n.(*ast.FuncLit); ok && nested != lit {
+			la.checkFuncLit(p, info, nested, report)
+			return false
+		}
+		return true
+	})
+}
+
+// funcDisplayName renders "Type.Method" or "pkg.Func" for messages.
+func funcDisplayName(f *types.Func) string {
+	sig := f.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + f.Name()
+		}
+	}
+	if f.Pkg() != nil {
+		return f.Pkg().Name() + "." + f.Name()
+	}
+	return f.Name()
+}

@@ -1,0 +1,97 @@
+// Package lifecyclebad exercises the lifecycle analyzer: goroutine
+// joins and ticker/timer stops reachable from shutdown methods.
+package lifecyclebad
+
+import (
+	"sync"
+	"time"
+)
+
+// Worker is the well-formed pattern: the loop goroutine signals a
+// WaitGroup whose Wait — and whose ticker's Stop, and whose done
+// channel's close — are all reachable from Close.
+type Worker struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+	tick *time.Ticker
+}
+
+func (w *Worker) Start() {
+	w.tick = time.NewTicker(time.Second)
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		for {
+			select {
+			case <-w.done:
+				return
+			case <-w.tick.C:
+			}
+		}
+	}()
+}
+
+func (w *Worker) Close() {
+	w.tick.Stop()
+	close(w.done)
+	w.wg.Wait()
+}
+
+func Leak(n int) {
+	go func() { // want "lifecycle: goroutine has no join"
+		_ = n * 2
+	}()
+}
+
+type NoWait struct{ wg sync.WaitGroup }
+
+func (nw *NoWait) Start() {
+	nw.wg.Add(1)
+	go func() { // want "lifecycle: goroutine signals a WaitGroup, but no matching Wait is reachable"
+		defer nw.wg.Done()
+	}()
+}
+
+func Dyn(fn func()) {
+	go fn() // want "lifecycle: goroutine target is a dynamic call"
+}
+
+func Poll(d time.Duration) {
+	for range time.Tick(d) { // want "lifecycle: time.Tick leaks its ticker"
+		return
+	}
+}
+
+func Spin(d time.Duration, n int) int {
+	t := time.NewTicker(d) // want "lifecycle: time.NewTicker result is never stopped"
+	v := 0
+	for i := 0; i < n; i++ {
+		<-t.C
+		v++
+	}
+	return v
+}
+
+func SpinStop(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	<-t.C
+}
+
+func Fire(d time.Duration) {
+	<-time.NewTimer(d).C // want "lifecycle: time.NewTimer result is not bound to a variable"
+}
+
+// scoped joins: a local WaitGroup waited in the same function.
+func FanOut(n int) int {
+	var wg sync.WaitGroup
+	total := 0
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+	return total
+}

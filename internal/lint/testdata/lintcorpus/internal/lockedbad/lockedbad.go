@@ -1,0 +1,102 @@
+// Package lockedbad exercises the locked analyzer: guarded-field
+// annotations, flow-sensitive hold tracking, wrapper summaries,
+// caller-must-hold propagation and function-literal isolation.
+package lockedbad
+
+import "sync"
+
+type Table struct {
+	mu    sync.Mutex
+	conns map[int]int // guarded by mu
+	hits  int         // guarded by mu
+	ro    int         // guarded by lock // want "locked: guarded-by annotation names .lock., which is not a sync.Mutex/RWMutex sibling field of Table"
+}
+
+func (t *Table) Lock()   { t.mu.Lock() }
+func (t *Table) Unlock() { t.mu.Unlock() }
+
+// get inherits a caller-must-hold requirement on t.mu: not a finding
+// here, but every call site must satisfy or re-propagate it.
+func (t *Table) get(k int) int { return t.conns[k] }
+
+func addVia(t *Table, k int) { t.conns[k] = k }
+
+func (t *Table) GoodDirect(k int) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.conns[k]
+}
+
+func (t *Table) GoodWrapper(k int) int {
+	t.Lock()
+	v := t.get(k)
+	t.Unlock()
+	return v
+}
+
+func (t *Table) BadEarlyUnlock(k int) int {
+	t.mu.Lock()
+	v := t.conns[k]
+	t.mu.Unlock()
+	t.hits++ // want "locked: Table.hits is guarded by t.mu, which is locked elsewhere in this function but not held here"
+	return v
+}
+
+func (t *Table) BadBranch(k int) int {
+	if k > 0 {
+		t.mu.Lock()
+	}
+	return t.conns[k] // want "locked: Table.conns is guarded by t.mu, which is locked elsewhere in this function but not held here"
+}
+
+func UseLocked(mk func() *Table, k int) int {
+	t := mk()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.get(k)
+}
+
+func UseUnlocked(mk func() *Table, k int) int {
+	t := mk()
+	return t.get(k) // want "locked: call to Table.get requires t.mu held .guards Table.conns."
+}
+
+func UseDirect(mk func() *Table) {
+	t := mk()
+	t.hits++ // want "locked: Table.hits is guarded but t.mu is not held here"
+}
+
+func BadCaller(mk func() *Table, k int) {
+	t := mk()
+	addVia(t, k) // want "locked: call to lockedbad.addVia requires t.mu held .guards Table.conns."
+}
+
+func FreshLocal(k int) int {
+	t := &Table{conns: map[int]int{k: k}}
+	return t.conns[k] // freshly constructed and unshared: no finding
+}
+
+func Spawn(t *Table) func() {
+	return func() {
+		t.hits++ // want "locked: Table.hits is guarded but t.mu is not held in this function literal"
+	}
+}
+
+func SpawnLocked(t *Table) func() {
+	return func() {
+		t.mu.Lock()
+		t.hits++
+		t.mu.Unlock()
+	}
+}
+
+type RW struct {
+	mu sync.RWMutex
+	m  map[string]int // guarded by mu
+}
+
+func (r *RW) Read(k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.m[k]
+}

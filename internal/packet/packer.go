@@ -91,6 +91,8 @@ func (pk *Packer) Pack(chs []chunk.Chunk) ([]Packet, error) {
 // are identical to Pack followed by AppendTo, but no intermediate
 // Packet slices are built, and with Buffers set a steady encode →
 // transmit → Buffers.Put cycle allocates nothing.
+//
+//lint:hot
 func (pk *Packer) Encode(chs []chunk.Chunk) ([][]byte, error) {
 	budget := pk.budget()
 	if budget <= chunk.HeaderSize {

@@ -22,7 +22,6 @@ package shard
 import (
 	"errors"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -100,8 +99,8 @@ type entry[C any] struct {
 type Shard[C any] struct {
 	eng   *Engine[C]
 	mu    sync.Mutex
-	conns map[Key]*entry[C]
-	wheel wheel
+	conns map[Key]*entry[C] // guarded by mu
+	wheel wheel             // guarded by mu
 }
 
 // An Engine demultiplexes connections over independent shards.
@@ -113,6 +112,18 @@ type Engine[C any] struct {
 	seq     atomic.Int64 // establishment order, engine-wide
 	live    atomic.Int64 // live connections (admission control)
 	refused atomic.Int64 // establishments refused by MaxConns
+
+	// due is Tick's reusable drain scratch: after the first few ticks
+	// its backing array stops growing and Tick runs allocation-free.
+	// Only Tick touches it, and Tick is single-caller by contract.
+	due []dueTimer[C]
+}
+
+// dueTimer pairs a due timer with its owning shard between Tick's
+// drain and service passes.
+type dueTimer[C any] struct {
+	sh *Shard[C]
+	t  *timer
 }
 
 // New builds an engine with cfg.Shards independent shards.
@@ -252,25 +263,23 @@ type Expired[C any] struct {
 // semantics regardless of shard count. Expired connections are
 // removed and returned (key-sorted) for the caller's callbacks; the
 // caller fires those outside any shard lock.
+//
+// The drain pass merges into a reused, insertion-sorted scratch
+// rather than sort.Slice: the comparison closure there boxes the
+// slice header onto the heap, and Tick sits on the server's tick
+// loop, which must stay allocation-free in steady state.
+//
+//lint:hot
 func (e *Engine[C]) Tick() []Expired[C] {
-	type dueTimer struct {
-		sh *Shard[C]
-		t  *timer
-	}
-	var due []dueTimer
+	due := e.due[:0]
 	for _, sh := range e.shards {
 		sh.mu.Lock()
 		for _, t := range sh.wheel.advance() {
-			due = append(due, dueTimer{sh, t})
+			due = insertDue(due, dueTimer[C]{sh, t})
 		}
 		sh.mu.Unlock()
 	}
-	sort.Slice(due, func(i, j int) bool {
-		if due[i].t.key != due[j].t.key {
-			return due[i].t.key.less(due[j].t.key)
-		}
-		return due[i].t.kind < due[j].t.kind
-	})
+	e.due = due
 	var expired []Expired[C]
 	for _, d := range due {
 		sh, t := d.sh, d.t
@@ -303,6 +312,28 @@ func (e *Engine[C]) Tick() []Expired[C] {
 	return expired
 }
 
+// insertDue appends d keeping due sorted by (key, kind): an insertion
+// sort against an already-sorted prefix, so each drain merge is one
+// scan from the tail. Per-shard advance yields few timers per tick,
+// and reusing the backing array keeps the merge allocation-free.
+func insertDue[C any](due []dueTimer[C], d dueTimer[C]) []dueTimer[C] {
+	due = append(due, d)
+	i := len(due) - 1
+	for i > 0 && dueLess(d, due[i-1]) {
+		due[i] = due[i-1]
+		i--
+	}
+	due[i] = d
+	return due
+}
+
+func dueLess[C any](a, b dueTimer[C]) bool {
+	if a.t.key != b.t.key {
+		return a.t.key.less(b.t.key)
+	}
+	return a.t.kind < b.t.kind
+}
+
 // Range calls fn for every live connection under its shard's lock,
 // shards in index order. Connections within a shard are visited in
 // map order: fn must be order-free (sums, counts) — anything
@@ -333,6 +364,7 @@ func (e *Engine[C]) WithPrimary(fn func(c C)) bool {
 	}()
 	var best *entry[C]
 	for _, sh := range e.shards {
+		//lint:allow locked every shard's mutex is held: acquired across the preceding loop, released by the deferred loop
 		for _, en := range sh.conns { //lint:allow maprange min-reduction over the unique establishment sequence; order-independent
 			if best == nil || en.established < best.established {
 				best = en

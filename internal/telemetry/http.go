@@ -28,8 +28,9 @@ var (
 // It is strictly read-only: handlers snapshot and render, nothing
 // flows back into the stack.
 type Server struct {
-	l net.Listener
-	s *http.Server
+	l  net.Listener
+	s  *http.Server
+	wg sync.WaitGroup // joins the Serve goroutine on Close
 }
 
 // Serve starts the introspection endpoint on addr ("host:0" picks a
@@ -65,12 +66,20 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
 	srv := &Server{l: l, s: &http.Server{Handler: mux}}
-	go func() { _ = srv.s.Serve(l) }()
+	srv.wg.Add(1)
+	go func() {
+		defer srv.wg.Done()
+		_ = srv.s.Serve(l)
+	}()
 	return srv, nil
 }
 
 // Addr returns the bound address.
 func (s *Server) Addr() net.Addr { return s.l.Addr() }
 
-// Close stops the endpoint.
-func (s *Server) Close() error { return s.s.Close() }
+// Close stops the endpoint and joins its serve goroutine.
+func (s *Server) Close() error {
+	err := s.s.Close()
+	s.wg.Wait()
+	return err
+}

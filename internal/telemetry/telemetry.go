@@ -111,9 +111,9 @@ func (g *Gauge) Peak() int64 {
 type Scope struct {
 	name     string
 	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	counters map[string]*Counter   // guarded by mu
+	gauges   map[string]*Gauge     // guarded by mu
+	hists    map[string]*Histogram // guarded by mu
 }
 
 // Name returns the scope's registry name ("" on nil).
@@ -206,7 +206,7 @@ func (s Sink) Event(kind EventKind, cid, tid uint32, sn uint64, arg int64) {
 // leaving the Config field nil.
 type Registry struct {
 	mu     sync.Mutex
-	scopes map[string]*Scope
+	scopes map[string]*Scope // guarded by mu
 	ring   *Ring
 }
 

@@ -48,7 +48,7 @@ const openPayloadSize = 11
 
 // SignalOpen builds the connection-open signaling chunk.
 func SignalOpen(cid uint32, elemSize uint16, firstCSN uint64) chunk.Chunk {
-	p := make([]byte, 0, openPayloadSize)
+	p := make([]byte, 0, openPayloadSize) //lint:allow hotalloc one-shot connection-open signal, not steady state
 	p = append(p, sigOpen)
 	p = binary.BigEndian.AppendUint16(p, elemSize)
 	p = binary.BigEndian.AppendUint64(p, firstCSN)

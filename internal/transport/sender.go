@@ -255,11 +255,13 @@ func (s *Sender) Open() error {
 		return nil
 	}
 	s.opened = true
-	return s.emit([]chunk.Chunk{SignalOpen(s.cfg.CID, s.cfg.ElemSize, s.csn)})
+	return s.emit([]chunk.Chunk{SignalOpen(s.cfg.CID, s.cfg.ElemSize, s.csn)}) //lint:allow hotalloc one-shot connection-open signal, not steady state
 }
 
 // Write appends element-aligned application bytes to the stream,
 // cutting and transmitting TPDUs as enough elements accumulate.
+//
+//lint:hot
 func (s *Sender) Write(data []byte) error {
 	if s.dead {
 		return ErrPeerDead
@@ -375,7 +377,7 @@ func (s *Sender) cutTPDU(n int) error {
 	par, err := errdet.Encode(s.cfg.Layout, rec.chunks)
 	if err != nil {
 		recPool.Put(rec)
-		return fmt.Errorf("transport: encode TPDU %d: %w", tid, err)
+		return fmt.Errorf("transport: encode TPDU %d: %w", tid, err) //lint:allow hotalloc cold error path: fmt boxes its operands
 	}
 	rec.ed = errdet.EDChunkAppend(s.cfg.CID, tid, start, par, rec.edbuf)
 	rec.edbuf = rec.ed.Payload
@@ -422,6 +424,8 @@ func (s *Sender) emit(chs []chunk.Chunk) error {
 }
 
 // HandleControl processes a control chunk (ACK/NACK) from the peer.
+//
+//lint:hot
 func (s *Sender) HandleControl(c *chunk.Chunk) error {
 	return s.HandleControlAt(c, s.now)
 }
@@ -726,6 +730,8 @@ func (s *Sender) PollAt(now time.Duration) error {
 // later send. It is strictly opt-in: a consumer that retains datagrams
 // (the Pump does) simply never calls it and the sender allocates fresh
 // buffers as before. Callers must not touch d after recycling it.
+//
+//lint:hot
 func (s *Sender) Recycle(d []byte) { s.pack.Buffers.Put(d) }
 
 // Unacked returns the number of TPDUs awaiting acknowledgment.

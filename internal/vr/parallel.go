@@ -21,7 +21,7 @@ type ParallelTracker struct {
 
 type shard struct {
 	mu sync.Mutex
-	tr Tracker
+	tr Tracker // guarded by mu
 }
 
 // NewParallelTracker returns a tracker with n shards (n < 1 is

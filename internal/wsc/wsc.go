@@ -132,9 +132,11 @@ func (a *Accumulator) AddRun(start uint64, syms []uint32) error {
 // across goroutines when GOMAXPROCS allows, each shard encoded
 // independently and folded in with the Combine algebra. Every path is
 // bit-identical to the pinned scalar kernel.
+//
+//lint:hot
 func (a *Accumulator) AddBytes(start uint64, b []byte) error {
 	if len(b)%SymbolSize != 0 {
-		return errors.New("wsc: byte run not a multiple of symbol size")
+		return errors.New("wsc: byte run not a multiple of symbol size") //lint:allow hotalloc cold error path
 	}
 	n := len(b) / SymbolSize
 	if n == 0 {
@@ -171,8 +173,8 @@ const maxShards = 8
 func (a *Accumulator) addBytesSharded(start uint64, b []byte, shards int) {
 	n := len(b) / SymbolSize
 	per := (n + shards - 1) / shards
-	accs := make([]Accumulator, shards)
-	var wg sync.WaitGroup
+	accs := make([]Accumulator, shards) //lint:allow hotalloc parallel fan-out engages only at the sharding threshold, far above steady-state TPDU sizes
+	var wg sync.WaitGroup               //lint:allow hotalloc parallel fan-out engages only at the sharding threshold, far above steady-state TPDU sizes
 	for i := 0; i < shards; i++ {
 		lo := i * per
 		hi := min(lo+per, n)
@@ -180,7 +182,7 @@ func (a *Accumulator) addBytesSharded(start uint64, b []byte, shards int) {
 			break
 		}
 		wg.Add(1)
-		go func(acc *Accumulator, pos uint64, seg []byte) {
+		go func(acc *Accumulator, pos uint64, seg []byte) { //lint:allow hotalloc parallel fan-out engages only at the sharding threshold, far above steady-state TPDU sizes
 			defer wg.Done()
 			h, sum := gf.HornerSumBytes(seg)
 			acc.par.P0 ^= sum
@@ -208,6 +210,8 @@ func Encode(syms []uint32) (Parity, error) {
 
 // EncodeBytes computes the parity of a dense byte block at symbol
 // position 0. len(b) must be a multiple of SymbolSize.
+//
+//lint:hot
 func EncodeBytes(b []byte) (Parity, error) {
 	var a Accumulator
 	if err := a.AddBytes(0, b); err != nil {

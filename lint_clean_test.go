@@ -19,11 +19,18 @@ func TestLintClean(t *testing.T) {
 	if err != nil {
 		t.Fatalf("loading module: %v", err)
 	}
-	diags := lint.Run(m, lint.AllChecks())
+	diags, stats := lint.RunStats(m, lint.AllChecks())
 	for _, d := range diags {
 		t.Errorf("%s", d)
 	}
 	if len(diags) > 0 {
 		t.Logf("%d finding(s); run `go run ./cmd/chunklint` for details", len(diags))
+	}
+	// The suppression count is pinned: a new //lint:allow (or a removed
+	// one) must come with a reviewed bump of the budget constant, so
+	// suppressions cannot accrete silently.
+	if stats.Allows != lint.AllowBudget {
+		t.Errorf("module has %d //lint:allow directive(s), budget is %d — fix the findings or update AllowBudget in internal/lint/budget.go",
+			stats.Allows, lint.AllowBudget)
 	}
 }
