@@ -25,6 +25,7 @@ func main() {
 	verbose := flag.Bool("v", false, "log each TPDU verdict and frame")
 	wait := flag.Duration("wait", 5*time.Minute, "give up after this long")
 	telAddr := flag.String("telemetry", "", "serve live telemetry on this HTTP address (e.g. 127.0.0.1:6071); also prints a snapshot at exit")
+	recvBatch := flag.Int("batch", 0, "receive batch size: 0 = default (32, recvmmsg on Linux), 1 = legacy scalar reads")
 	flag.Parse()
 
 	var reg *telemetry.Registry
@@ -42,6 +43,7 @@ func main() {
 	frames := 0
 	srv, err := core.Serve(*listen, core.Config{
 		Telemetry: reg,
+		RecvBatch: *recvBatch,
 		OnTPDU: func(tid uint32, v errdet.Verdict) {
 			if v == errdet.VerdictOK {
 				verified++

@@ -1,0 +1,194 @@
+package batch
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+func udpPair(t *testing.T) (srv *net.UDPConn, cli *net.UDPConn) {
+	t.Helper()
+	srv, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cli, err = net.DialUDP("udp", nil, srv.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	return srv, cli
+}
+
+// drainAll reads until total datagrams arrived or the deadline lapses.
+func drainAll(t *testing.T, r *Reader, total int) [][]byte {
+	t.Helper()
+	var got [][]byte
+	for len(got) < total {
+		_ = r.conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		n, err := r.Read()
+		if err != nil {
+			t.Fatalf("Read after %d datagrams: %v", len(got), err)
+		}
+		for i := 0; i < n; i++ {
+			got = append(got, append([]byte(nil), r.Datagram(i)...))
+			if !r.Addr(i).IsValid() {
+				t.Fatalf("datagram %d has invalid source address", len(got)-1)
+			}
+		}
+	}
+	return got
+}
+
+// testReaderPath sends a burst and checks every datagram and source
+// address comes back intact, on whichever implementation path r uses.
+func testReaderPath(t *testing.T, r *Reader, srv, cli *net.UDPConn) {
+	t.Helper()
+	const total = 50
+	for i := 0; i < total; i++ {
+		msg := []byte(fmt.Sprintf("datagram-%03d", i))
+		if _, err := cli.Write(msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := drainAll(t, r, total)
+	if len(got) != total {
+		t.Fatalf("got %d datagrams, want %d", len(got), total)
+	}
+	// Loopback UDP preserves order; pin content exactly.
+	for i, d := range got {
+		if want := fmt.Sprintf("datagram-%03d", i); string(d) != want {
+			t.Fatalf("datagram %d = %q, want %q", i, d, want)
+		}
+	}
+	wantPort := cli.LocalAddr().(*net.UDPAddr).Port
+	if _, err := cli.Write([]byte("addr-check")); err != nil {
+		t.Fatal(err)
+	}
+	_ = srv.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, err := r.Read()
+	if err != nil || n < 1 {
+		t.Fatalf("Read = %d, %v", n, err)
+	}
+	if got := r.Addr(0); int(got.Port()) != wantPort || !got.Addr().Unmap().Is4() {
+		t.Fatalf("source address = %v, want 127.0.0.1:%d", got, wantPort)
+	}
+}
+
+func TestReaderBatch(t *testing.T) {
+	srv, cli := udpPair(t)
+	r := NewReader(srv, 16, 1500)
+	testReaderPath(t, r, srv, cli)
+}
+
+func TestReaderPortableFallback(t *testing.T) {
+	srv, cli := udpPair(t)
+	r := NewReader(srv, 16, 1500)
+	r.mm = nil // force the deadline-drain path even where mmsg exists
+	if r.Batched() {
+		t.Fatal("fallback reader claims to be batched")
+	}
+	testReaderPath(t, r, srv, cli)
+}
+
+func TestReaderDeadline(t *testing.T) {
+	srv, _ := udpPair(t)
+	for _, forcePortable := range []bool{false, true} {
+		r := NewReader(srv, 8, 1500)
+		if forcePortable {
+			r.mm = nil
+		}
+		_ = srv.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+		n, err := r.Read()
+		if n != 0 || err == nil {
+			t.Fatalf("Read on empty socket = %d, %v; want 0 and a timeout", n, err)
+		}
+		var ne net.Error
+		if !errors.As(err, &ne) || !ne.Timeout() {
+			t.Fatalf("error %v (portable=%v) is not a net timeout", err, forcePortable)
+		}
+	}
+}
+
+func TestReaderClosedSocket(t *testing.T) {
+	srv, _ := udpPair(t)
+	r := NewReader(srv, 8, 1500)
+	srv.Close()
+	_, err := r.Read()
+	if !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("Read on closed socket = %v, want net.ErrClosed", err)
+	}
+}
+
+func testWriterPath(t *testing.T, w *Writer, srv *net.UDPConn) {
+	t.Helper()
+	const total = 50
+	dgrams := make([][]byte, total)
+	for i := range dgrams {
+		dgrams[i] = []byte(fmt.Sprintf("out-%03d", i))
+	}
+	// Write in two uneven batches to cross any slot-window boundary.
+	if err := w.Write(dgrams[:33]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(dgrams[33:]); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1500)
+	for i := 0; i < total; i++ {
+		_ = srv.SetReadDeadline(time.Now().Add(2 * time.Second))
+		n, _, err := srv.ReadFromUDP(buf)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if want := fmt.Sprintf("out-%03d", i); string(buf[:n]) != want {
+			t.Fatalf("datagram %d = %q, want %q", i, buf[:n], want)
+		}
+	}
+}
+
+func TestWriterBatch(t *testing.T) {
+	srv, cli := udpPair(t)
+	testWriterPath(t, NewWriter(cli, 16), srv)
+}
+
+func TestWriterPortableFallback(t *testing.T) {
+	srv, cli := udpPair(t)
+	w := NewWriter(cli, 16)
+	w.mm = nil
+	testWriterPath(t, w, srv)
+}
+
+// TestReaderZeroAllocSteady pins the per-wakeup allocation count of a
+// primed Reader at zero (the receive-loop prerequisite for the
+// transport's end-to-end zero-alloc path).
+func TestReaderZeroAllocSteady(t *testing.T) {
+	srv, cli := udpPair(t)
+	r := NewReader(srv, 8, 1500)
+	payload := []byte("steady-state-datagram")
+	step := func() {
+		for i := 0; i < 4; i++ {
+			if _, err := cli.Write(payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := 0
+		for got < 4 {
+			_ = srv.SetReadDeadline(time.Now().Add(2 * time.Second))
+			n, err := r.Read()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got += n
+		}
+	}
+	for i := 0; i < 8; i++ {
+		step()
+	}
+	if allocs := testing.AllocsPerRun(50, step); allocs != 0 {
+		t.Errorf("steady Read loop allocates %.1f objects per wakeup, want 0", allocs)
+	}
+}

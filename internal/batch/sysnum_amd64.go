@@ -1,0 +1,9 @@
+//go:build linux && amd64
+
+package batch
+
+// Syscall numbers absent from the frozen syscall package tables.
+const (
+	sysRECVMMSG = 299
+	sysSENDMMSG = 307
+)

@@ -1,0 +1,9 @@
+//go:build linux && arm64
+
+package batch
+
+// Syscall numbers absent from the frozen syscall package tables.
+const (
+	sysRECVMMSG = 243
+	sysSENDMMSG = 269
+)

@@ -31,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	"chunks/internal/batch"
 	"chunks/internal/chunk"
 	"chunks/internal/errdet"
 	"chunks/internal/packet"
@@ -136,6 +137,14 @@ type Config struct {
 	// Serve side; 0 means 1. Useful with Shards > 1: independent
 	// readers keep multiple shards busy concurrently.
 	Readers int
+	// RecvBatch is the Serve-side receive batch width: how many
+	// datagrams one reader wakeup may ingest (recvmmsg on Linux, a
+	// deadline-bounded drain elsewhere; see internal/batch). 0 means
+	// 32. 1 selects the legacy scalar path — one ReadFromUDP per
+	// datagram — kept as the honest baseline for experiment P10. Any
+	// value yields identical protocol behavior; batching changes only
+	// how many syscalls the kernel boundary costs.
+	RecvBatch int
 	// ControlOut, when set on the Serve side, replaces the UDP reverse
 	// path: outgoing control datagrams (ACK/NACK) are handed to the
 	// callback instead of the socket. In-process harnesses (experiment
@@ -165,6 +174,11 @@ func (c *Config) fill() {
 	} else if c.ReapAfter < 0 {
 		c.ReapAfter = 0
 	}
+	if c.RecvBatch == 0 {
+		c.RecvBatch = 32
+	} else if c.RecvBatch < 1 {
+		c.RecvBatch = 1
+	}
 }
 
 // ErrTimeout reports that WaitDrained/WaitClosed gave up.
@@ -179,16 +193,18 @@ var ErrPeerDead = transport.ErrPeerDead
 
 // A Conn is the sending end of a chunk connection over UDP.
 type Conn struct {
-	mu     sync.Mutex
-	cond   *sync.Cond        // signalled on ACKs, shutdown, peer death
-	s      *transport.Sender // guarded by mu
-	sock   *net.UDPConn
-	window int
-	epoch  time.Time // origin of the sender's timeline
-	shut   bool      // guarded by mu
-	dead   error     // guarded by mu; ErrPeerDead once the sender gives up
-	done   chan struct{}
-	wg     sync.WaitGroup
+	mu      sync.Mutex
+	cond    *sync.Cond        // signalled on ACKs, shutdown, peer death
+	s       *transport.Sender // guarded by mu
+	sock    *net.UDPConn
+	bw      *batch.Writer
+	pending [][]byte // guarded by mu; datagrams emitted but not yet flushed
+	window  int
+	epoch   time.Time // origin of the sender's timeline
+	shut    bool      // guarded by mu
+	dead    error     // guarded by mu; ErrPeerDead once the sender gives up
+	done    chan struct{}
+	wg      sync.WaitGroup
 
 	onPeerDead func(error)
 	deadOnce   sync.Once
@@ -220,6 +236,7 @@ func Dial(addr string, cfg Config) (*Conn, error) {
 		telUnacked: sink.Gauge("tpdus_unacked"),
 	}
 	c.cond = sync.NewCond(&c.mu)
+	c.bw = batch.NewWriter(sock, cfg.RecvBatch)
 	c.s = transport.NewSender(transport.SenderConfig{
 		CID: cfg.CID, MTU: cfg.MTU, ElemSize: cfg.ElemSize,
 		TPDUElems: cfg.TPDUElems, Adapt: cfg.Adapt,
@@ -227,8 +244,10 @@ func Dial(addr string, cfg Config) (*Conn, error) {
 		MaxRTO: cfg.MaxRTO, MaxRetries: cfg.MaxRetries,
 		Tel: sink,
 	}, func(d []byte) {
-		// Best-effort datagram send; loss is the protocol's problem.
-		_, _ = sock.Write(d)
+		// Defer the actual send: one sender operation may emit a burst
+		// of datagrams (a whole TPDU, a retransmission round), and the
+		// flush pushes them down in one sendmmsg where available.
+		c.pending = append(c.pending, d) //lint:allow locked sender emits only inside c.s operations, all of which run under c.mu
 	})
 
 	// Control read loop: ACKs and NACKs from the receiver.
@@ -263,6 +282,7 @@ func Dial(addr string, cfg Config) (*Conn, error) {
 			case <-tick.C:
 				c.mu.Lock()
 				err := c.s.PollAt(time.Since(c.epoch)) //lint:allow detrand real-socket RTT measurement; tests drive PollAt with virtual time
+				c.flushPending()
 				if errors.Is(err, transport.ErrPeerDead) && c.dead == nil {
 					c.dead = ErrPeerDead
 					c.cond.Broadcast()
@@ -276,6 +296,24 @@ func Dial(addr string, cfg Config) (*Conn, error) {
 		}
 	}()
 	return c, nil
+}
+
+// flushPending transmits every datagram queued by the sender's out
+// callback — one sendmmsg on Linux — and recycles the buffers into the
+// sender's pool. Called with c.mu held, after each sender operation.
+//
+//lint:hot
+func (c *Conn) flushPending() {
+	if len(c.pending) == 0 {
+		return
+	}
+	// Best-effort datagram send; loss is the protocol's problem.
+	_ = c.bw.Write(c.pending)
+	for i := range c.pending {
+		c.s.Recycle(c.pending[i])
+		c.pending[i] = nil
+	}
+	c.pending = c.pending[:0]
 }
 
 func (c *Conn) firePeerDead(err error) {
@@ -294,6 +332,7 @@ func (c *Conn) handleControl(datagram []byte) {
 	now := time.Since(c.epoch) //lint:allow detrand real-socket RTT measurement; tests drive HandleControlAt with virtual time
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	defer c.flushPending() // NACKs may have queued retransmissions
 	for i := range chs {
 		_ = c.s.HandleControlAt(&chs[i], now)
 	}
@@ -324,7 +363,9 @@ func (c *Conn) Write(data []byte) error {
 	if c.shut {
 		return ErrShutdown
 	}
-	return c.s.Write(data)
+	err := c.s.Write(data)
+	c.flushPending()
+	return err
 }
 
 // EndFrame closes the current Application Layer Frame.
@@ -332,13 +373,16 @@ func (c *Conn) EndFrame() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.s.EndFrame()
+	c.flushPending()
 }
 
 // Flush transmits buffered data as a short TPDU.
 func (c *Conn) Flush() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.s.Flush()
+	err := c.s.Flush()
+	c.flushPending()
+	return err
 }
 
 // Close flushes and sends the close signal. The socket stays open for
@@ -346,7 +390,9 @@ func (c *Conn) Flush() error {
 func (c *Conn) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.s.Close()
+	err := c.s.Close()
+	c.flushPending()
+	return err
 }
 
 // LocalAddr returns the connection's local UDP address — the source

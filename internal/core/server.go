@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/netip"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"chunks/internal/batch"
 	"chunks/internal/errdet"
 	"chunks/internal/packet"
 	"chunks/internal/shard"
@@ -62,6 +64,7 @@ type Server struct {
 	telRejected    *telemetry.Counter
 	telRefused     *telemetry.Counter
 	telSetupErr    *telemetry.Counter
+	telSockErr     *telemetry.Counter
 	telLive        *telemetry.Gauge
 	telRing        *telemetry.Ring
 }
@@ -92,6 +95,7 @@ func Serve(addr string, cfg Config) (*Server, error) {
 		telRejected:    sink.Counter("conns_rejected"),
 		telRefused:     sink.Counter("conns_refused"),
 		telSetupErr:    sink.Counter("conn_setup_errors"),
+		telSockErr:     sink.Counter("recv_sock_err"),
 		telLive:        sink.Gauge("conns_live"),
 		telRing:        sink.Ring,
 	}
@@ -153,8 +157,8 @@ func (s *Server) receiverConfig() transport.ReceiverConfig {
 // key's shard locked. On admission refusal or setup failure it
 // returns nil and the reason; the caller drops the chunks and fires
 // any callback outside the lock.
-func (s *Server) establish(sh *shard.Shard[*serverConn], key shard.Key, from *net.UDPAddr) (*serverConn, error) {
-	peer := &net.UDPAddr{IP: append(net.IP(nil), from.IP...), Port: from.Port, Zone: from.Zone}
+func (s *Server) establish(sh *shard.Shard[*serverConn], key shard.Key, from netip.AddrPort) (*serverConn, error) {
+	peer := net.UDPAddrFromAddrPort(netip.AddrPortFrom(from.Addr().Unmap(), from.Port()))
 	c, err := sh.Establish(key, func() (*serverConn, error) {
 		cfg := s.receiverConfig()
 		if s.cfg.PerConnTelemetry {
@@ -164,9 +168,15 @@ func (s *Server) establish(sh *shard.Shard[*serverConn], key shard.Key, from *ne
 		}
 		// The out callback captures the ESTABLISHMENT address: control
 		// always goes there, no matter who sent the datagram that
-		// triggered it.
-		out := func(d []byte) { _, _ = s.sock.WriteToUDP(d, peer) }
+		// triggered it. The socket path recycles the datagram buffer
+		// into the receiver's packer pool once the kernel has copied it.
+		sc := &serverConn{peer: peer, cid: key.CID}
+		out := func(d []byte) {
+			_, _ = s.sock.WriteToUDP(d, peer)
+			sc.r.Recycle(d)
+		}
 		if s.cfg.ControlOut != nil {
+			// User callbacks may retain the datagram; no recycling.
 			co := s.cfg.ControlOut
 			out = func(d []byte) { co(d, peer) }
 		}
@@ -174,7 +184,8 @@ func (s *Server) establish(sh *shard.Shard[*serverConn], key shard.Key, from *ne
 		if err != nil {
 			return nil, err
 		}
-		return &serverConn{r: r, peer: peer, cid: key.CID}, nil
+		sc.r = r
+		return sc, nil
 	})
 	if err != nil {
 		if errors.Is(err, shard.ErrMaxConns) {
@@ -193,21 +204,110 @@ func (s *Server) establish(sh *shard.Shard[*serverConn], key shard.Key, from *ne
 	return c, nil
 }
 
+// addrCacheMax bounds each read loop's source-address string cache;
+// past it the cache resets rather than growing with spoofed sources.
+const addrCacheMax = 4096
+
+// addrKey formats a datagram source as the connection-table key —
+// identical to what (*net.UDPAddr).String() reports for the same peer,
+// so the scalar and batched ingestion paths key connections alike.
+func addrKey(ap netip.AddrPort) string {
+	return netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port()).String()
+}
+
 func (s *Server) readLoop() {
 	defer s.wg.Done()
+	if s.cfg.RecvBatch <= 1 {
+		s.scalarReadLoop()
+		return
+	}
+	br := batch.NewReader(s.sock, s.cfg.RecvBatch, 65536)
+	var dec packet.Packet
+	cache := make(map[netip.AddrPort]string, 64)
+	var backoff time.Duration
+	for {
+		if !br.Batched() {
+			// The portable drain rewrites the deadline during Read;
+			// restore the shutdown-poll cadence before each wait.
+			_ = s.sock.SetReadDeadline(time.Now().Add(50 * time.Millisecond)) //lint:allow detrand socket read deadline: I/O pacing, not protocol state
+		}
+		// On the kernel path no deadline is armed at all: Shutdown
+		// closes the socket, which wakes the blocked read with
+		// net.ErrClosed. That keeps the steady wakeup free of the
+		// per-wakeup timer reset the legacy loop pays per datagram.
+		n, err := br.Read()
+		if err != nil {
+			if !s.recvErr(err, &backoff) {
+				return
+			}
+			continue
+		}
+		backoff = 0
+		for i := 0; i < n; i++ {
+			s.injectScratch(br.Datagram(i), br.Addr(i), &dec, cache)
+		}
+	}
+}
+
+// scalarReadLoop is the legacy one-recvfrom-per-datagram path, kept
+// under Config.RecvBatch=1 as the baseline experiment P10 measures
+// batching against.
+func (s *Server) scalarReadLoop() {
 	buf := make([]byte, 65536)
+	var backoff time.Duration
 	for {
 		_ = s.sock.SetReadDeadline(time.Now().Add(50 * time.Millisecond)) //lint:allow detrand socket read deadline: I/O pacing, not protocol state
 		n, from, err := s.sock.ReadFromUDP(buf)
 		if err != nil {
-			select {
-			case <-s.done:
+			if !s.recvErr(err, &backoff) {
 				return
-			default:
-				continue
 			}
+			continue
 		}
+		backoff = 0
 		s.Inject(buf[:n], from)
+	}
+}
+
+// recvErr classifies a read-loop socket error. Deadline expiry is the
+// done-channel poll cadence; a closed socket ends the loop; anything
+// else is counted as recv_sock_err and backed off exponentially
+// (capped, interruptible by shutdown) so a persistently failing socket
+// cannot spin a reader at full speed. Returns false when the loop
+// should exit.
+func (s *Server) recvErr(err error, backoff *time.Duration) bool {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		select {
+		case <-s.done:
+			return false
+		default:
+			return true
+		}
+	}
+	if errors.Is(err, net.ErrClosed) {
+		select {
+		case <-s.done:
+			// Shutdown closed the socket to wake this reader: a clean
+			// exit, not a socket failure.
+		default:
+			s.telSockErr.Inc()
+		}
+		return false
+	}
+	s.telSockErr.Inc()
+	if *backoff == 0 {
+		*backoff = time.Millisecond
+	} else if *backoff < 100*time.Millisecond {
+		*backoff *= 2
+	}
+	t := time.NewTimer(*backoff)
+	select {
+	case <-s.done:
+		t.Stop()
+		return false
+	case <-t.C:
+		return true
 	}
 }
 
@@ -223,13 +323,52 @@ func (s *Server) Inject(datagram []byte, from *net.UDPAddr) {
 		return // not a chunk packet; ignore
 	}
 	s.telDatagrams.Inc()
-	addr := from.String()
+	s.route(&p, from.String(), from.AddrPort())
+}
 
-	type connEvent struct {
-		cid  uint32
-		peer net.Addr
-		fire func(cid uint32, peer net.Addr)
+// InjectBatch ingests a burst of datagrams sharing one decode scratch
+// and source-address cache — the in-process twin of the batched read
+// loop, for tests and experiments that drive the engine without socket
+// I/O. froms[i] is the source of dgrams[i].
+func (s *Server) InjectBatch(dgrams [][]byte, froms []netip.AddrPort) {
+	var dec packet.Packet
+	cache := make(map[netip.AddrPort]string, 8)
+	for i := range dgrams {
+		s.injectScratch(dgrams[i], froms[i], &dec, cache)
 	}
+}
+
+// injectScratch is Inject with caller-owned decode scratch and
+// source-address cache: the steady batched receive path re-uses both
+// across every datagram of every burst, so ingestion of a known peer's
+// datagram allocates nothing before the shard lock.
+func (s *Server) injectScratch(datagram []byte, from netip.AddrPort, dec *packet.Packet, cache map[netip.AddrPort]string) {
+	if packet.DecodeInto(datagram, dec) != nil {
+		return // not a chunk packet; ignore
+	}
+	s.telDatagrams.Inc()
+	addr, ok := cache[from]
+	if !ok {
+		addr = addrKey(from)
+		if len(cache) >= addrCacheMax {
+			clear(cache)
+		}
+		cache[from] = addr
+	}
+	s.route(dec, addr, from)
+}
+
+// connEvent defers a connection-lifecycle callback until the shard
+// locks are released.
+type connEvent struct {
+	cid  uint32
+	peer net.Addr
+	fire func(cid uint32, peer net.Addr)
+}
+
+// route walks one decoded packet's chunks into their (C.ID, source)
+// connections. addr is the precomputed connection-table key for from.
+func (s *Server) route(p *packet.Packet, addr string, from netip.AddrPort) {
 	var events []connEvent
 
 	// Route each chunk to the (C.ID, source) connection. Packets are
@@ -256,7 +395,7 @@ func (s *Server) Inject(datagram []byte, from *net.UDPAddr) {
 			if c, err = s.establish(sh, key, from); err != nil {
 				sh.Unlock()
 				if errors.Is(err, shard.ErrMaxConns) && s.cfg.OnConnRefused != nil {
-					events = append(events, connEvent{cid: cid, peer: from, fire: s.cfg.OnConnRefused})
+					events = append(events, connEvent{cid: cid, peer: net.UDPAddrFromAddrPort(from), fire: s.cfg.OnConnRefused})
 				}
 				i = j
 				continue
@@ -411,9 +550,11 @@ func (s *Server) WaitClosed(n int, timeout time.Duration) error {
 }
 
 // Shutdown stops the server. It is idempotent and safe to call
-// concurrently.
+// concurrently. The socket is closed before the goroutine join: a
+// batched reader blocks with no deadline armed, and the close is what
+// wakes it.
 func (s *Server) Shutdown() {
 	s.shutOnce.Do(func() { close(s.done) })
-	s.wg.Wait()
 	_ = s.sock.Close()
+	s.wg.Wait()
 }

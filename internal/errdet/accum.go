@@ -66,17 +66,17 @@ func (b *blockAccumulator) addRaw(sn uint64, size uint16, data []byte) error {
 	n := uint64(len(data)) / uint64(size)
 	spe := SymbolsPerElement(size)
 	if (sn+n)*spe > b.layout.DataSymbols {
-		return fmt.Errorf("%w: elements [%d,%d) of size %d", ErrLayout, sn, sn+n, size)
+		return fmt.Errorf("%w: elements [%d,%d) of size %d", ErrLayout, sn, sn+n, size) //lint:allow hotalloc cold error path: fmt boxes its operands
 	}
 	if size%wsc.SymbolSize == 0 {
 		return b.acc.AddBytes(sn*spe, data)
 	}
-	var buf [8 * wsc.SymbolSize]byte
+	var buf [8 * wsc.SymbolSize]byte //lint:allow hotalloc conflict-replacement path only: AddBytes sharding keeps the scratch alive
 	var pad []byte
 	if spe <= uint64(len(buf))/wsc.SymbolSize {
 		pad = buf[:spe*wsc.SymbolSize]
 	} else {
-		pad = make([]byte, spe*wsc.SymbolSize)
+		pad = make([]byte, spe*wsc.SymbolSize) //lint:allow hotalloc oversize-element fallback, off the steady path
 	}
 	off := 0
 	for i := uint64(0); i < n; i++ {

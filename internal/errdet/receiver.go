@@ -36,6 +36,18 @@ type tpduState struct {
 	verdict   Verdict
 }
 
+// reset returns the state to the fresh-TPDU condition, keeping the
+// virtual-reassembly interval capacity — the recycling half of the
+// freelist that makes long-running receivers allocation-free per TPDU.
+func (t *tpduState) reset(layout Layout) {
+	t.t.Reset()
+	t.blk = blockAccumulator{layout: layout}
+	t.size, t.cid, t.haveMeta = 0, 0, false
+	t.delta, t.cst = 0, false
+	t.want, t.haveWant = wsc.Parity{}, false
+	t.finalized, t.verdict = false, VerdictPending
+}
+
 // xState is the connection-scope verification state of one external
 // PDU (external PDUs may span TPDUs, so they live beside, not inside,
 // tpduState).
@@ -56,6 +68,11 @@ type Receiver struct {
 	tpdus    map[uint32]*tpduState
 	xs       map[uint32]*xState
 	findings []Finding
+	// free and xfree hold retired state records for reuse (see Retire
+	// and RetireX): a steady verify → ack → retire cycle allocates no
+	// per-TPDU or per-frame state.
+	free  []*tpduState
+	xfree []*xState
 
 	// policy is the conflicting-overlap policy applied at T-level
 	// virtual reassembly; prior supplies the previously accepted bytes
@@ -65,6 +82,11 @@ type Receiver struct {
 	// view (Section 3.3).
 	policy vr.Policy
 	prior  vr.View
+	// shifted is the T.SN → C.SN shifting adapter over prior, built
+	// once in SetOverlapPolicy so the per-chunk hot path does not
+	// allocate a fresh closure; viewDelta is the shift it applies.
+	shifted   vr.View
+	viewDelta uint64
 
 	// Checksum-kernel instruments (nil until SetTelemetry): how many
 	// payload bytes went through the WSC-2 kernels and the size
@@ -90,6 +112,13 @@ type Receiver struct {
 func (r *Receiver) SetOverlapPolicy(pol vr.Policy, prior vr.View) {
 	r.policy = pol
 	r.prior = prior
+	if prior == nil {
+		r.shifted = nil
+		return
+	}
+	r.shifted = func(iv vr.Interval) []byte {
+		return r.prior(vr.Interval{Lo: iv.Lo + r.viewDelta, Hi: iv.Hi + r.viewDelta})
+	}
 }
 
 // SetTelemetry attaches checksum instruments resolved from the sink's
@@ -119,10 +148,17 @@ func NewReceiver(layout Layout) (*Receiver, error) {
 	}, nil
 }
 
+//lint:hot
 func (r *Receiver) tpdu(tid uint32) *tpduState {
 	t := r.tpdus[tid]
 	if t == nil {
-		t = &tpduState{blk: blockAccumulator{layout: r.layout}}
+		if n := len(r.free); n > 0 {
+			t = r.free[n-1]
+			r.free[n-1] = nil
+			r.free = r.free[:n-1]
+		} else {
+			t = &tpduState{blk: blockAccumulator{layout: r.layout}} //lint:allow hotalloc pool miss: the steady state recycles retired TPDU records
+		}
 		r.tpdus[tid] = t
 	}
 	return t
@@ -183,7 +219,7 @@ func (r *Receiver) IngestPlaced(c *chunk.Chunk) (fresh, replace []vr.Interval, e
 }
 
 func (r *Receiver) ingestData(c *chunk.Chunk) (freshOut, replaceOut []vr.Interval, errOut error) {
-	t := r.tpdu(c.T.ID)
+	t := r.tpdu(c.T.ID) //lint:allow hotalloc inlined pool miss: the steady state recycles retired TPDU records
 	if t.finalized {
 		if t.verdict != VerdictEDMismatch {
 			return nil, nil, nil // late duplicate of a verified TPDU
@@ -192,7 +228,7 @@ func (r *Receiver) ingestData(c *chunk.Chunk) (freshOut, replaceOut []vr.Interva
 		// when data is retransmitted: rebuild its verification state
 		// from scratch (the retransmission reuses the original
 		// identifiers, Section 3.3, so the rebuild is transparent).
-		*t = tpduState{blk: blockAccumulator{layout: r.layout}}
+		t.reset(r.layout)
 	}
 
 	// Per-TPDU consistency: SIZE, C.ID and (C.SN - T.SN) must agree
@@ -204,15 +240,15 @@ func (r *Receiver) ingestData(c *chunk.Chunk) (freshOut, replaceOut []vr.Interva
 		t.size, t.cid, t.delta, t.haveMeta = c.Size, c.C.ID, delta, true
 	} else {
 		if c.Size != t.size {
-			r.flag(VerdictReassembly, c.T.ID, "SIZE %d conflicts with %d", c.Size, t.size)
+			r.flag(VerdictReassembly, c.T.ID, "SIZE %d conflicts with %d", c.Size, t.size) //lint:allow hotalloc cold finding path: the variadic call boxes its operands
 			return nil, nil, nil
 		}
 		if c.C.ID != t.cid {
-			r.flag(VerdictConsistency, c.T.ID, "C.ID %d conflicts with %d", c.C.ID, t.cid)
+			r.flag(VerdictConsistency, c.T.ID, "C.ID %d conflicts with %d", c.C.ID, t.cid) //lint:allow hotalloc cold finding path: the variadic call boxes its operands
 			return nil, nil, nil
 		}
 		if delta != t.delta {
-			r.flag(VerdictConsistency, c.T.ID, "C.SN-T.SN %d conflicts with %d", delta, t.delta)
+			r.flag(VerdictConsistency, c.T.ID, "C.SN-T.SN %d conflicts with %d", delta, t.delta) //lint:allow hotalloc cold finding path: the variadic call boxes its operands
 			return nil, nil, nil
 		}
 	}
@@ -221,10 +257,17 @@ func (r *Receiver) ingestData(c *chunk.Chunk) (freshOut, replaceOut []vr.Interva
 	x := r.xs[c.X.ID]
 	xdelta := c.C.SN - c.X.SN
 	if x == nil {
-		x = &xState{delta: xdelta, haveDelta: true}
+		if n := len(r.xfree); n > 0 {
+			x = r.xfree[n-1]
+			r.xfree[n-1] = nil
+			r.xfree = r.xfree[:n-1]
+			x.delta, x.haveDelta = xdelta, true
+		} else {
+			x = &xState{delta: xdelta, haveDelta: true} //lint:allow hotalloc pool miss: the steady state recycles retired external-PDU records
+		}
 		r.xs[c.X.ID] = x
 	} else if x.haveDelta && x.delta != xdelta {
-		r.flag(VerdictConsistency, c.T.ID, "C.SN-X.SN %d conflicts with %d for X.ID %d", xdelta, x.delta, c.X.ID)
+		r.flag(VerdictConsistency, c.T.ID, "C.SN-X.SN %d conflicts with %d for X.ID %d", xdelta, x.delta, c.X.ID) //lint:allow hotalloc cold finding path: the variadic call boxes its operands
 		return nil, nil, nil
 	}
 
@@ -234,17 +277,15 @@ func (r *Receiver) ingestData(c *chunk.Chunk) (freshOut, replaceOut []vr.Interva
 	// (C.SN - T.SN) delta.
 	n := uint64(c.Len)
 	var view vr.View
-	if r.prior != nil {
-		delta := t.delta
-		view = func(iv vr.Interval) []byte {
-			return r.prior(vr.Interval{Lo: iv.Lo + delta, Hi: iv.Hi + delta})
-		}
+	if r.shifted != nil {
+		r.viewDelta = t.delta
+		view = r.shifted
 	}
 	fresh, conflicts, err := t.t.AddChecked(c.T.SN, n, c.T.ST, r.policy, c.Payload, int(c.Size), view)
 	if len(conflicts) > 0 {
 		r.overlapConflicts.Add(int64(len(conflicts)))
 		for _, iv := range conflicts {
-			r.flag(VerdictConsistency, c.T.ID, "overlap conflict: duplicate %v carries different bytes (%v)", iv, r.policy)
+			r.flag(VerdictConsistency, c.T.ID, "overlap conflict: duplicate %v carries different bytes (%v)", iv, r.policy) //lint:allow hotalloc cold finding path: the variadic call boxes its operands
 		}
 	}
 	if err != nil {
@@ -257,7 +298,7 @@ func (r *Receiver) ingestData(c *chunk.Chunk) (freshOut, replaceOut []vr.Interva
 				// fresh intervals will overwrite them.)
 				delete(r.tpdus, c.T.ID)
 			}
-			r.flag(VerdictReassembly, c.T.ID, "T-level reassembly: %v (%v)", err, r.policy)
+			r.flag(VerdictReassembly, c.T.ID, "T-level reassembly: %v (%v)", err, r.policy) //lint:allow hotalloc cold finding path: the variadic call boxes its operands
 			return nil, nil, err
 		}
 		r.flag(VerdictReassembly, c.T.ID, "T-level reassembly: %v", err)
@@ -287,7 +328,7 @@ func (r *Receiver) ingestData(c *chunk.Chunk) (freshOut, replaceOut []vr.Interva
 
 	// External-level virtual reassembly (ALF frame completion).
 	if _, err := x.pdu.Add(c.X.SN, n, c.X.ST); err != nil {
-		r.flag(VerdictReassembly, c.T.ID, "X-level reassembly (X.ID %d): %v", c.X.ID, err)
+		r.flag(VerdictReassembly, c.T.ID, "X-level reassembly (X.ID %d): %v", c.X.ID, err) //lint:allow hotalloc cold finding path: the variadic call boxes its operands
 	}
 
 	// Accumulate only the fresh data into the parity — processing the
@@ -326,15 +367,15 @@ func (r *Receiver) ingestED(c *chunk.Chunk) {
 		r.flag(VerdictReassembly, c.T.ID, "malformed ED chunk: %v", err)
 		return
 	}
-	t := r.tpdu(c.T.ID)
+	t := r.tpdu(c.T.ID) //lint:allow hotalloc inlined pool miss: the steady state recycles retired TPDU records
 	if t.finalized {
 		if t.verdict != VerdictEDMismatch {
 			return
 		}
-		*t = tpduState{blk: blockAccumulator{layout: r.layout}}
+		t.reset(r.layout)
 	}
 	if t.haveMeta && c.C.ID != t.cid {
-		r.flag(VerdictConsistency, c.T.ID, "ED chunk C.ID %d conflicts with %d", c.C.ID, t.cid)
+		r.flag(VerdictConsistency, c.T.ID, "ED chunk C.ID %d conflicts with %d", c.C.ID, t.cid) //lint:allow hotalloc cold finding path: the variadic call boxes its operands
 		return
 	}
 	if t.haveWant {
@@ -362,7 +403,7 @@ func (r *Receiver) maybeFinalize(tid uint32, t *tpduState) {
 		return
 	}
 	t.verdict = VerdictEDMismatch
-	r.flag(VerdictEDMismatch, tid, "WSC-2 parity mismatch: got %+v want %+v", t.blk.parity(), t.want)
+	r.flag(VerdictEDMismatch, tid, "WSC-2 parity mismatch: got %+v want %+v", t.blk.parity(), t.want) //lint:allow hotalloc cold finding path: the variadic call boxes its operands
 }
 
 func freshContains(ivs []vr.Interval, sn uint64) bool {
@@ -382,7 +423,60 @@ func freshContains(ivs []vr.Interval, sn uint64) bool {
 // corrupted duplicate: the receiver requests a full retransmission
 // and starts the TPDU over.
 func (r *Receiver) ResetTPDU(tid uint32) {
+	r.Retire(tid)
+}
+
+// Retire releases the verification state of a TPDU the caller is done
+// with (typically verified and acknowledged), recycling the record for
+// the next TPDU. Together with the map's insert/delete balance this
+// bounds receiver memory over a long connection and keeps the steady
+// receive path allocation-free. A later duplicate of a retired TPDU
+// restarts tracking from scratch; callers that care (the transport)
+// must drop such chunks themselves.
+//
+//lint:hot
+func (r *Receiver) Retire(tid uint32) {
+	t := r.tpdus[tid]
+	if t == nil {
+		return
+	}
 	delete(r.tpdus, tid)
+	t.reset(r.layout)
+	r.free = append(r.free, t)
+}
+
+// RetireX releases the virtual-reassembly state of one external PDU
+// (after its ALF frame has been delivered) — the X-level half of the
+// memory bound Retire provides at T level.
+//
+//lint:hot
+func (r *Receiver) RetireX(xid uint32) {
+	x := r.xs[xid]
+	if x == nil {
+		return
+	}
+	delete(r.xs, xid)
+	x.pdu.Reset()
+	x.delta, x.haveDelta = 0, false
+	r.xfree = append(r.xfree, x)
+}
+
+// TPDUExtent returns the connection-stream (C.SN) element range
+// [lo, hi) occupied by a TPDU whose end is known — what a stream
+// manager needs to trim delivered bytes when the TPDU retires. ok is
+// false when the TPDU is unknown or its T.ST element has not arrived.
+//
+//lint:hot
+func (r *Receiver) TPDUExtent(tid uint32) (lo, hi uint64, ok bool) {
+	t := r.tpdus[tid]
+	if t == nil || !t.haveMeta {
+		return 0, 0, false
+	}
+	end, haveEnd := t.t.End()
+	if !haveEnd {
+		return 0, 0, false
+	}
+	return t.delta, t.delta + end, true
 }
 
 // Verdict returns the current verdict for a TPDU.

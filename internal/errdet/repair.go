@@ -62,7 +62,7 @@ func (r *Receiver) Repair(tid uint32) (Correction, bool) {
 		return Correction{}, false
 	}
 	t.verdict = VerdictOK
-	r.flag(VerdictOK, tid, "repaired single-symbol error at data position %d (T.SN %d)", pos, tsn)
+	r.flag(VerdictOK, tid, "repaired single-symbol error at data position %d (T.SN %d)", pos, tsn) //lint:allow hotalloc cold repair path: fmt boxes its operands
 	return Correction{
 		TID:    tid,
 		TSN:    tsn,

@@ -16,7 +16,7 @@ func TestAllExperimentsRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	wantIDs := []string{"F1", "F2", "F3", "F4", "F5", "F6", "F7", "T1", "B1",
-		"P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8", "P9", "O1", "NET", "C1"}
+		"P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8", "P9", "P10", "O1", "NET", "C1"}
 	if len(tables) != len(wantIDs) {
 		t.Fatalf("%d tables, want %d", len(tables), len(wantIDs))
 	}
@@ -268,6 +268,39 @@ func TestC1Shape(t *testing.T) {
 	}
 	if byMode["shards=1+perconn-tel"] != 1 {
 		t.Fatalf("missing the pre-PR per-conn-telemetry memory row: %v", byMode)
+	}
+}
+
+// TestP10Shape runs the quick receive sweep and checks its structure:
+// scalar and batched rows for every datagram size, positive rates, and
+// a speedup recorded on every batched row. The ≥1.5× acceptance ratio
+// is wall-clock-sensitive, so it is recorded by the full
+// `chunkbench -exp P10` run and EXPERIMENTS.md, not asserted here.
+func TestP10Shape(t *testing.T) {
+	tb, res, err := P10Run(41, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != len(res.Rows) {
+		t.Fatalf("table rows %d != result rows %d", len(tb.Rows), len(res.Rows))
+	}
+	byPath := map[string]int{}
+	sizes := map[int]bool{}
+	for _, r := range res.Rows {
+		byPath[r.Path]++
+		sizes[r.DgramBytes] = true
+		if r.DgramsPerSec <= 0 || r.GBPerSec <= 0 {
+			t.Errorf("%s/%dB: non-positive rate %v dgrams/s %v GB/s", r.Path, r.DgramBytes, r.DgramsPerSec, r.GBPerSec)
+		}
+		if r.Path == "batched" && r.Speedup <= 0 {
+			t.Errorf("batched/%dB: speedup not recorded", r.DgramBytes)
+		}
+	}
+	if len(sizes) != 2 {
+		t.Fatalf("datagram sizes %v, want both the MTU-sized and small shapes", sizes)
+	}
+	if byPath["scalar"] != byPath["batched"] || byPath["scalar"] != len(sizes) {
+		t.Fatalf("paths %v, want scalar and batched at every size", byPath)
 	}
 }
 

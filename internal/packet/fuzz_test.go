@@ -1,6 +1,7 @@
 package packet
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -52,6 +53,58 @@ func FuzzDecode(f *testing.F) {
 		}
 		if len(q.Chunks) != len(p.Chunks) {
 			t.Fatalf("chunk count changed: %d -> %d", len(p.Chunks), len(q.Chunks))
+		}
+	})
+}
+
+// FuzzDecodeInto pins DecodeInto to Decode: for any input — including
+// the shapes a recvmmsg batch can hand the read loop (a truncated
+// tail, a zero-length slot, a 65536-byte maximum slot) — the two must
+// agree on error-vs-success and, on success, on the decoded chunks.
+// The scratch Packet is reused across every iteration exactly like a
+// read loop's per-reader scratch, so stale chunk state leaking from a
+// previous (possibly failed) decode shows up as a divergence here.
+func FuzzDecodeInto(f *testing.F) {
+	p := Packet{Chunks: []chunk.Chunk{dataChunk(0, 0, 0, 4, true)}}
+	compact, _ := p.AppendTo(nil, 0)
+	padded, _ := p.AppendTo(nil, 128)
+	maxed, _ := p.AppendTo(nil, MaxSize)
+	f.Add(compact)
+	f.Add(padded)
+	f.Add(maxed)                    // largest encodable packet
+	f.Add(append(maxed, 0))         // 65536-byte receive slot, padded past the envelope
+	f.Add(compact[:len(compact)-3]) // truncated tail
+	f.Add([]byte{})                 // zero-length slot
+	f.Add([]byte{Magic, Version, 0, 4})
+	var scratch Packet // reused across iterations like a read loop's scratch
+	f.Fuzz(func(t *testing.T, b []byte) {
+		// Each input is also decoded with batch-boundary mutations: the
+		// last byte cut (a slot whose datagram was truncated) and the
+		// empty prefix (a zero-length slot between valid ones).
+		variants := [][]byte{b}
+		if len(b) > 0 {
+			variants = append(variants, b[:len(b)-1], b[:0])
+		}
+		for _, v := range variants {
+			want, wantErr := Decode(v)
+			gotErr := DecodeInto(v, &scratch)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("Decode err %v, DecodeInto err %v (input %x)", wantErr, gotErr, v)
+			}
+			if wantErr != nil {
+				if wantErr.Error() != gotErr.Error() {
+					t.Fatalf("error text diverged: Decode %q, DecodeInto %q (input %x)", wantErr, gotErr, v)
+				}
+				continue // on error the scratch is documented as invalid
+			}
+			if len(want.Chunks) != len(scratch.Chunks) {
+				t.Fatalf("chunk count diverged: Decode %d, DecodeInto %d (input %x)", len(want.Chunks), len(scratch.Chunks), v)
+			}
+			for i := range want.Chunks {
+				if !reflect.DeepEqual(want.Chunks[i], scratch.Chunks[i]) {
+					t.Fatalf("chunk %d diverged (input %x)", i, v)
+				}
+			}
 		}
 	})
 }

@@ -105,26 +105,43 @@ func (p *Packet) AppendTo(b []byte, pad int) ([]byte, error) {
 // Decode parses one packet from b, which must contain the complete
 // packet (datagram semantics). Decoded chunk payloads alias b.
 func Decode(b []byte) (Packet, error) {
+	var p Packet
+	if err := DecodeInto(b, &p); err != nil {
+		return Packet{}, err
+	}
+	return p, nil
+}
+
+// DecodeInto is Decode reusing p's chunk storage: p.Chunks is
+// truncated and refilled in place, so a receive loop decoding into the
+// same Packet allocates nothing once the slice has grown to the
+// envelope's chunk count. Decoded chunk payloads alias b, exactly as
+// with Decode; on error p holds the chunks decoded before the failure
+// (callers must treat p as invalid). The decoded packet is
+// byte-for-byte identical to Decode's (FuzzDecodeInto pins this).
+//
+//lint:hot
+func DecodeInto(b []byte, p *Packet) error {
+	p.Chunks = p.Chunks[:0]
 	if len(b) < HeaderSize {
-		return Packet{}, ErrShortPacket
+		return ErrShortPacket
 	}
 	if b[0] != Magic {
-		return Packet{}, ErrBadMagic
+		return ErrBadMagic
 	}
 	if b[1] != Version {
-		return Packet{}, ErrBadVersion
+		return ErrBadVersion
 	}
 	total := int(binary.BigEndian.Uint16(b[offTotal:HeaderSize]))
 	if total < HeaderSize || total > len(b) {
-		return Packet{}, ErrBadLength
+		return ErrBadLength
 	}
-	var p Packet
 	off := HeaderSize
 	for off < total {
 		var c chunk.Chunk
 		n, err := c.DecodeFromBytes(b[off:total])
 		if err != nil {
-			return Packet{}, fmt.Errorf("packet: chunk at offset %d: %w", off, err)
+			return fmt.Errorf("packet: chunk at offset %d: %w", off, err) //lint:allow hotalloc cold error path: fmt boxes its operands
 		}
 		off += n
 		if c.IsTerminator() {
@@ -132,7 +149,7 @@ func Decode(b []byte) (Packet, error) {
 		}
 		p.Chunks = append(p.Chunks, c)
 	}
-	return p, nil
+	return nil
 }
 
 // Clone deep-copies the packet, detaching chunk payloads from any

@@ -111,12 +111,22 @@ func ParseSignal(c *chunk.Chunk) (Signal, error) {
 
 // Ack builds an acknowledgment chunk: TPDU tid verified end-to-end.
 func Ack(cid, tid uint32) chunk.Chunk {
-	p := binary.BigEndian.AppendUint32(nil, tid)
+	return AckWith(cid, tid, make([]byte, 0, 4))
+}
+
+// AckWith is Ack writing the 4-byte payload into buf (which needs
+// capacity 4), the allocation-free form for the receive hot path: the
+// receiver reuses one payload buffer across ACKs because the packer
+// serialises the chunk before the next ACK is built.
+//
+//lint:hot
+func AckWith(cid, tid uint32, buf []byte) chunk.Chunk {
+	buf = binary.BigEndian.AppendUint32(buf[:0], tid)
 	return chunk.Chunk{
 		Type: chunk.TypeAck, Size: 4, Len: 1,
 		C:       chunk.Tuple{ID: cid},
 		T:       chunk.Tuple{ID: tid},
-		Payload: p,
+		Payload: buf,
 	}
 }
 

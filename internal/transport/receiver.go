@@ -3,7 +3,7 @@ package transport
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"chunks/internal/chunk"
 	"chunks/internal/errdet"
@@ -47,6 +47,20 @@ type ReceiverConfig struct {
 	// rebuilds the TPDU from scratch via normal retransmission. 0
 	// disables reaping.
 	ReapAfter int
+	// RetireVerified, when > 0, bounds the state of VERIFIED TPDUs the
+	// way ReapAfter bounds incomplete ones: the receiver keeps the
+	// most recent RetireVerified acknowledged TPDUs and retires older
+	// ones — their verification state is recycled (not freed, so the
+	// steady receive path allocates nothing) and, whenever the retiring
+	// TPDU is the oldest data held, the delivered stream prefix is
+	// trimmed in place. With retirement active Stream() returns only
+	// the un-trimmed suffix (StreamBase says where it starts) and
+	// OnFrame payloads are valid only during the callback. A duplicate
+	// of a retired TPDU (a retransmission after a lost ACK) is simply
+	// re-verified from scratch and re-acknowledged. 0 disables
+	// retirement and keeps every TPDU's state for the connection's
+	// lifetime (the historical behaviour).
+	RetireVerified int
 
 	// Tel receives the receiver's runtime metrics and lifecycle
 	// events. The zero Sink disables instrumentation at no cost.
@@ -69,19 +83,28 @@ type Receiver struct {
 	finalCSN uint64
 
 	// stream is the application address space, placed by C.SN.
-	stream []byte
+	// streamBase is the C.SN element offset of stream[0]: 0 until
+	// retirement (RetireVerified) starts trimming delivered prefixes.
+	stream     []byte
+	streamBase uint64
 
 	repaired  int
 	reaped    int
+	verified  int               // TPDUs acknowledged (survives retirement)
 	pending   int               // TPDUs tracked without a final verdict (NeedsPoll)
 	tids      map[uint32]bool   // every TPDU seen (for polling)
 	progress  map[uint32]uint64 // reassembly fingerprint at last Poll
 	stalled   map[uint32]int    // consecutive no-progress polls
 	stale     map[uint32]int    // no-progress polls since last progress (for reaping)
 	acked     map[uint32]bool
-	notified  map[uint32]bool      // OnTPDU fired
-	delivered map[uint32]bool      // frames delivered
-	frames    map[uint32]*frameRec // X.ID -> placement info
+	notified  map[uint32]bool     // OnTPDU fired
+	delivered map[uint32]bool     // frames delivered
+	frames    map[uint32]frameRec // X.ID -> placement info
+
+	// ackRing is the FIFO of acknowledged TPDUs awaiting retirement
+	// (RetireVerified > 0); ringHead indexes its oldest live entry.
+	ackRing  []uint32
+	ringHead int
 
 	round     int             // Poll rounds elapsed (telemetry timeline)
 	firstSeen map[uint32]int  // Poll round a TPDU's first chunk arrived in
@@ -89,6 +112,15 @@ type Receiver struct {
 
 	pack packet.Packer
 	tel  recvTel
+
+	// Hot-path scratch, reused across calls so the steady receive path
+	// allocates nothing: dec is HandlePacket's envelope decode target,
+	// ctrl and ackBuf build the single-ACK control emission, pollTids
+	// is Poll's sorted-scan buffer.
+	dec      packet.Packet
+	ctrl     []chunk.Chunk
+	ackBuf   []byte
+	pollTids []uint32
 }
 
 // recvTel bundles the receiver's pre-resolved instruments. With a
@@ -155,11 +187,12 @@ func NewReceiver(cfg ReceiverConfig, out func([]byte)) (*Receiver, error) {
 		acked:     make(map[uint32]bool),
 		notified:  make(map[uint32]bool),
 		delivered: make(map[uint32]bool),
-		frames:    make(map[uint32]*frameRec),
+		frames:    make(map[uint32]frameRec),
 		firstSeen: make(map[uint32]int),
 		verdicted: make(map[uint32]bool),
-		pack:      packet.Packer{MTU: cfg.MTU},
+		pack:      packet.Packer{MTU: cfg.MTU, Buffers: new(packet.BufferPool)},
 		tel:       newRecvTel(cfg.Tel),
+		ackBuf:    make([]byte, 0, 4),
 	}
 	// The stream IS the prior-bytes view conflict detection needs:
 	// virtual reassembly keeps no payload, so the placer lends its own.
@@ -176,34 +209,49 @@ var ErrConnectionRejected = fmt.Errorf("transport: conflicting overlap: connecti
 func (r *Receiver) Rejected() bool { return r.rejected }
 
 // priorBytes returns the placed stream bytes for connection-stream
-// elements [iv.Lo, iv.Hi), or nil when the range was never placed.
+// elements [iv.Lo, iv.Hi), or nil when the range was never placed (or
+// has been retired and trimmed away).
+//
+//lint:hot
 func (r *Receiver) priorBytes(iv vr.Interval) []byte {
+	if iv.Lo < r.streamBase {
+		return nil
+	}
 	es := uint64(r.size())
-	lo, hi := iv.Lo*es, iv.Hi*es
+	lo, hi := (iv.Lo-r.streamBase)*es, (iv.Hi-r.streamBase)*es
 	if hi > uint64(len(r.stream)) || lo > hi {
 		return nil
 	}
 	return r.stream[lo:hi]
 }
 
-// HandlePacket ingests one received datagram.
+// HandlePacket ingests one received datagram. The decode scratch is
+// swapped out for the duration of the call, so a reentrant
+// HandlePacket (an out callback looping a datagram straight back)
+// stays correct — it just pays a fresh decode allocation.
+//
+//lint:hot
 func (r *Receiver) HandlePacket(data []byte) error {
-	p, err := packet.Decode(data)
-	if err != nil {
-		return err
-	}
-	for i := range p.Chunks {
-		if err := r.HandleChunk(&p.Chunks[i]); err != nil {
-			return err
+	dec := r.dec
+	r.dec = packet.Packet{}
+	err := packet.DecodeInto(data, &dec)
+	if err == nil {
+		for i := range dec.Chunks {
+			if err = r.HandleChunk(&dec.Chunks[i]); err != nil {
+				break
+			}
 		}
 	}
-	return nil
+	r.dec = dec
+	return err
 }
 
 // HandleChunk ingests one chunk. Callers that demultiplex a datagram
 // across several receivers (e.g. a multi-peer server keying connections
 // by C.ID and source address) decode the packet once and route each
 // chunk here; single-connection callers use HandlePacket.
+//
+//lint:hot
 func (r *Receiver) HandleChunk(c *chunk.Chunk) error {
 	if r.rejected {
 		return ErrConnectionRejected
@@ -223,7 +271,7 @@ func (r *Receiver) HandleChunk(c *chunk.Chunk) error {
 			r.finalCSN = sig.CSN
 			// Acknowledge the close signal (repeated closes re-ACK:
 			// a repeat means our previous ACK was lost).
-			r.emit([]chunk.Chunk{Ack(r.cid, CloseAckTID)})
+			r.emitAck(CloseAckTID)
 		}
 		return nil
 	case chunk.TypeData:
@@ -275,37 +323,58 @@ func (r *Receiver) HandleChunk(c *chunk.Chunk) error {
 	case chunk.TypeAck, chunk.TypeNack:
 		return nil // peer's control towards its own sender role
 	default:
-		return fmt.Errorf("transport: unexpected chunk type %v", c.Type)
+		return fmt.Errorf("transport: unexpected chunk type %v", c.Type) //lint:allow hotalloc cold error path: fmt boxes its operands
 	}
 }
 
 // place writes the chunk's elements [lo, hi) (T.SN space) at their
 // connection-stream positions — immediate placement, the
-// latency/throughput win of Section 1.
+// latency/throughput win of Section 1. Elements below streamBase are
+// duplicates of already-retired data and are dropped.
+//
+//lint:hot
 func (r *Receiver) place(c *chunk.Chunk, lo, hi uint64) {
 	es := uint64(c.Size)
+	abs := c.C.SN + (lo - c.T.SN)
+	if abs < r.streamBase {
+		return
+	}
 	off := (lo - c.T.SN) * es
 	n := (hi - lo) * es
-	dst := (c.C.SN + (lo - c.T.SN)) * es
+	dst := (abs - r.streamBase) * es
 	if dst+n > uint64(len(r.stream)) {
-		grown := make([]byte, dst+n)
-		copy(grown, r.stream)
-		r.stream = grown
+		if dst+n <= uint64(cap(r.stream)) {
+			// Room left behind by a retirement trim: re-extend in
+			// place, zeroing the reclaimed tail (it holds stale bytes
+			// from the copy-down).
+			old := len(r.stream)
+			r.stream = r.stream[:dst+n]
+			clear(r.stream[old:])
+		} else {
+			// Grow geometrically: exact-size growth would reallocate
+			// (and zero) the whole stream once per arriving datagram.
+			newCap := max(2*uint64(cap(r.stream)), dst+n)
+			grown := make([]byte, dst+n, newCap) //lint:allow hotalloc stream growth; retirement (RetireVerified) caps it in steady state
+			copy(grown, r.stream)
+			r.stream = grown
+		}
 	}
 	copy(r.stream[dst:dst+n], c.Payload[off:off+n])
 }
 
 // trackFrame records where external PDU c.X.ID sits in the stream.
+//
+//lint:hot
 func (r *Receiver) trackFrame(c *chunk.Chunk) {
-	f := r.frames[c.X.ID]
-	if f == nil {
-		f = &frameRec{startElem: c.C.SN - c.X.SN}
-		r.frames[c.X.ID] = f
+	f, ok := r.frames[c.X.ID]
+	if !ok {
+		f = frameRec{startElem: c.C.SN - c.X.SN}
 	}
 	if c.X.ST {
 		f.endElems = c.X.SN + uint64(c.Len)
 		f.haveEnd = true
 	}
+	r.frames[c.X.ID] = f
 }
 
 // seen marks a TPDU as alive (not stale) and stamps the Poll round its
@@ -325,6 +394,8 @@ func (r *Receiver) seen(tid uint32) {
 // after runs completion actions once a TPDU reaches a verdict:
 // acknowledge verified TPDUs (the ACK may be piggybacked by the packer
 // with other control, Appendix A).
+//
+//lint:hot
 func (r *Receiver) after(tid uint32) {
 	v := r.ed.Verdict(tid)
 	if v == errdet.VerdictPending {
@@ -361,9 +432,57 @@ func (r *Receiver) after(tid uint32) {
 		// ACK on first completion AND on every later duplicate: a
 		// duplicate means the sender retransmitted, which means the
 		// previous ACK was lost.
-		r.acked[tid] = true
-		r.emit([]chunk.Chunk{Ack(r.cid, tid)})
+		if !r.acked[tid] {
+			r.acked[tid] = true
+			r.verified++
+			if r.cfg.RetireVerified > 0 {
+				r.ackRing = append(r.ackRing, tid)
+				for len(r.ackRing)-r.ringHead > r.cfg.RetireVerified {
+					old := r.ackRing[r.ringHead]
+					r.ackRing[r.ringHead] = 0
+					r.ringHead++
+					r.retire(old)
+				}
+				// Compact the ring once the dead prefix dominates, so
+				// the FIFO stays O(RetireVerified) without per-ACK
+				// reallocation.
+				if r.ringHead >= 64 && r.ringHead*2 >= len(r.ackRing) {
+					n := copy(r.ackRing, r.ackRing[r.ringHead:])
+					r.ackRing = r.ackRing[:n]
+					r.ringHead = 0
+				}
+			}
+		}
+		r.emitAck(tid)
 	}
+}
+
+// retire drops every trace of a verified, acknowledged TPDU, recycling
+// its verification state, and trims the delivered stream prefix when
+// tid is the oldest data held (out-of-order verification just delays
+// the trim until the gap retires). A retransmission of a retired TPDU
+// arriving later (lost ACK) is re-verified from scratch; its placement
+// below streamBase is dropped by place.
+//
+//lint:hot
+func (r *Receiver) retire(tid uint32) {
+	if lo, hi, ok := r.ed.TPDUExtent(tid); ok && lo == r.streamBase {
+		n := (hi - lo) * uint64(r.size())
+		if n <= uint64(len(r.stream)) {
+			rem := copy(r.stream, r.stream[n:])
+			r.stream = r.stream[:rem]
+			r.streamBase = hi
+		}
+	}
+	r.ed.Retire(tid)
+	delete(r.tids, tid)
+	delete(r.progress, tid)
+	delete(r.stalled, tid)
+	delete(r.stale, tid)
+	delete(r.acked, tid)
+	delete(r.notified, tid)
+	delete(r.firstSeen, tid)
+	delete(r.verdicted, tid)
 }
 
 // size returns the connection element size (signaled, defaulting to 4).
@@ -374,23 +493,33 @@ func (r *Receiver) size() uint16 {
 	return r.elemSize
 }
 
-// deliverFrames fires OnFrame for completed external PDUs.
+// deliverFrames fires OnFrame for completed external PDUs. Under
+// RetireVerified the frame's tracking state is retired right after
+// completion (delivered or not), so per-frame state is recycled in
+// step with per-TPDU state.
+//
+//lint:hot
 func (r *Receiver) deliverFrames(xid uint32) {
-	if r.cfg.OnFrame == nil || r.delivered[xid] {
+	f, ok := r.frames[xid]
+	if !ok || !f.haveEnd || !r.ed.XComplete(xid) {
 		return
 	}
-	f := r.frames[xid]
-	if f == nil || !f.haveEnd || !r.ed.XComplete(xid) {
-		return
+	if r.cfg.OnFrame != nil && !r.delivered[xid] {
+		r.delivered[xid] = true
+		es := uint64(r.size())
+		if f.startElem >= r.streamBase {
+			lo := (f.startElem - r.streamBase) * es
+			hi := lo + f.endElems*es
+			if hi <= uint64(len(r.stream)) {
+				r.cfg.OnFrame(xid, r.stream[lo:hi])
+			}
+		}
 	}
-	r.delivered[xid] = true
-	es := uint64(r.size())
-	lo := f.startElem * es
-	hi := lo + f.endElems*es
-	if hi > uint64(len(r.stream)) {
-		return
+	if r.cfg.RetireVerified > 0 {
+		r.ed.RetireX(xid)
+		delete(r.frames, xid)
+		delete(r.delivered, xid)
 	}
-	r.cfg.OnFrame(xid, r.stream[lo:hi])
 }
 
 // Poll emits NACKs for every known-but-incomplete TPDU: missing data
@@ -402,12 +531,15 @@ func (r *Receiver) Poll() {
 	var ctrl []chunk.Chunk
 	// Sorted scan: NACK emission order decides how control chunks pack
 	// into datagrams, so map iteration order would break seeded-run
-	// determinism.
-	tids := make([]uint32, 0, len(r.tids))
+	// determinism. The tid buffer is receiver-owned scratch and
+	// slices.Sort needs no closure, keeping quiescent polls
+	// allocation-free.
+	tids := r.pollTids[:0]
 	for tid := range r.tids {
 		tids = append(tids, tid)
 	}
-	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	slices.Sort(tids)
+	r.pollTids = tids
 	for _, tid := range tids {
 		if r.acked[tid] || r.ed.Verdict(tid) != errdet.VerdictPending {
 			continue
@@ -476,6 +608,7 @@ func (r *Receiver) Poll() {
 	}
 }
 
+//lint:hot
 func (r *Receiver) emit(chs []chunk.Chunk) {
 	datagrams, err := r.pack.Encode(chs)
 	if err != nil {
@@ -486,8 +619,33 @@ func (r *Receiver) emit(chs []chunk.Chunk) {
 	}
 }
 
-// Stream returns the application byte stream placed so far.
+// emitAck emits a single ACK chunk through the receiver's reusable
+// control scratch: the one-chunk slice and the 4-byte ACK payload are
+// receiver fields, re-filled per call, so the verify → ACK steady path
+// allocates nothing.
+//
+//lint:hot
+func (r *Receiver) emitAck(tid uint32) {
+	r.ctrl = append(r.ctrl[:0], AckWith(r.cid, tid, r.ackBuf))
+	r.emit(r.ctrl)
+}
+
+// Recycle returns a control datagram previously handed to out to the
+// receiver's buffer pool. Opt-in, exactly like Sender.Recycle: callers
+// that copy or retain datagrams simply never call it.
+//
+//lint:hot
+func (r *Receiver) Recycle(d []byte) { r.pack.Buffers.Put(d) }
+
+// Stream returns the application byte stream placed so far — all of it
+// with retirement off, the un-trimmed suffix starting at element
+// StreamBase otherwise.
 func (r *Receiver) Stream() []byte { return r.stream }
+
+// StreamBase returns the connection-stream element offset of
+// Stream()[0]: how many elements retirement has trimmed. Always 0 with
+// RetireVerified unset.
+func (r *Receiver) StreamBase() uint64 { return r.streamBase }
 
 // Opened and Closed report signaling state.
 func (r *Receiver) Opened() bool { return r.opened }
@@ -499,11 +657,13 @@ func (r *Receiver) Closed() bool { return r.closed }
 // once Closed.
 func (r *Receiver) FinalCSN() uint64 { return r.finalCSN }
 
-// Verified reports whether TPDU tid verified OK.
+// Verified reports whether TPDU tid verified OK (and its state is
+// still held: a retired TPDU reports false).
 func (r *Receiver) Verified(tid uint32) bool { return r.acked[tid] }
 
-// VerifiedCount returns how many TPDUs verified OK.
-func (r *Receiver) VerifiedCount() int { return len(r.acked) }
+// VerifiedCount returns how many TPDUs verified OK, including ones
+// since retired.
+func (r *Receiver) VerifiedCount() int { return r.verified }
 
 // Findings exposes the error detection findings (for experiments).
 func (r *Receiver) Findings() []errdet.Finding { return r.ed.Findings() }

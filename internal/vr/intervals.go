@@ -30,17 +30,27 @@ func (iv Interval) String() string { return fmt.Sprintf("[%d,%d)", iv.Lo, iv.Hi)
 // disjoint, non-adjacent intervals. The zero value is an empty set.
 type IntervalSet struct {
 	ivs []Interval
+	// fresh is Add's reusable result scratch: the steady receive path
+	// calls Add once per chunk, and re-allocating the (usually
+	// single-interval) fresh slice per call was the dominant
+	// virtual-reassembly allocation.
+	fresh []Interval
 }
 
 // Add inserts [lo, hi) and returns the sub-intervals that were NOT
 // already present — the "fresh" data. A fully duplicate insert returns
 // nil. Partial overlaps return only the new parts, letting callers
 // process (checksum, place) each element exactly once.
+//
+// The returned slice is owned by the set and valid only until the next
+// Add on the same set; callers that retain it must copy it first.
+//
+//lint:hot
 func (s *IntervalSet) Add(lo, hi uint64) []Interval {
 	if lo >= hi {
 		return nil
 	}
-	var fresh []Interval
+	fresh := s.fresh[:0]
 	cur := lo
 	// Walk existing intervals overlapping or beyond [lo, hi).
 	i := 0
@@ -58,11 +68,16 @@ func (s *IntervalSet) Add(lo, hi uint64) []Interval {
 	if cur < hi {
 		fresh = append(fresh, Interval{cur, hi})
 	}
+	s.fresh = fresh
 	if len(fresh) == 0 {
 		return nil
 	}
-	// Splice: replace all intervals overlapping/adjacent to [lo,hi)
-	// with one merged interval.
+	// Splice in place: replace the k-i intervals overlapping/adjacent
+	// to [lo,hi) with one merged interval. Replacing at least one
+	// interval (k > i) never reallocates; pure insertion (k == i)
+	// shifts the tail up within capacity and only a capacity-growing
+	// append allocates — amortised away on the in-order steady path,
+	// where the new range extends ivs[i-1] or appends at the end.
 	newLo, newHi := lo, hi
 	k := i
 	for k < len(s.ivs) && s.ivs[k].Lo <= hi {
@@ -74,8 +89,18 @@ func (s *IntervalSet) Add(lo, hi uint64) []Interval {
 		}
 		k++
 	}
-	merged := append(s.ivs[:i:i], Interval{newLo, newHi})
-	s.ivs = append(merged, s.ivs[k:]...)
+	merged := Interval{newLo, newHi}
+	switch {
+	case k > i: // overwrite the first replaced slot, close the gap
+		s.ivs[i] = merged
+		s.ivs = append(s.ivs[:i+1], s.ivs[k:]...)
+	case i == len(s.ivs): // append at the end
+		s.ivs = append(s.ivs, merged)
+	default: // insert before i: grow by one, shift the tail up
+		s.ivs = append(s.ivs, Interval{})
+		copy(s.ivs[i+1:], s.ivs[i:])
+		s.ivs[i] = merged
+	}
 	return fresh
 }
 

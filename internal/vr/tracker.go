@@ -31,11 +31,11 @@ var (
 )
 
 func conflictEndErr(old, new uint64) error {
-	return fmt.Errorf("%w: %d then %d", ErrConflictingEnd, old, new)
+	return fmt.Errorf("%w: %d then %d", ErrConflictingEnd, old, new) //lint:allow hotalloc cold error path: fmt boxes its operands
 }
 
 func beyondEndErr(lo, hi, end uint64) error {
-	return fmt.Errorf("%w: [%d,%d) with end %d", ErrBeyondEnd, lo, hi, end)
+	return fmt.Errorf("%w: [%d,%d) with end %d", ErrBeyondEnd, lo, hi, end) //lint:allow hotalloc cold error path: fmt boxes its operands
 }
 
 // Add records a chunk covering elements [sn, sn+n) with st set if the
@@ -48,15 +48,23 @@ func (p *PDU) Add(sn, n uint64, st bool) ([]Interval, error) {
 	if st {
 		end := sn + n
 		if p.haveEnd && p.end != end {
-			return nil, conflictEndErr(p.end, end)
+			return nil, conflictEndErr(p.end, end) //lint:allow hotalloc cold error path: fmt boxes its operands
 		}
 		p.end = end
 		p.haveEnd = true
 	}
 	if p.haveEnd && sn+n > p.end {
-		return nil, beyondEndErr(sn, sn+n, p.end)
+		return nil, beyondEndErr(sn, sn+n, p.end) //lint:allow hotalloc cold error path: fmt boxes its operands
 	}
 	return p.set.Add(sn, sn+n), nil
+}
+
+// Reset returns the PDU to the empty state, keeping the interval
+// storage capacity — the recycling primitive behind pooled per-TPDU
+// receive state (errdet retires verified TPDUs into a freelist).
+func (p *PDU) Reset() {
+	p.set.Reset()
+	p.end, p.haveEnd = 0, false
 }
 
 // Complete reports whether every element 0..end-1 has been received —
